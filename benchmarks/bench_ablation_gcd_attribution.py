@@ -1,0 +1,95 @@
+"""Ablation: per-rank GPU energy error from per-card sensors (MI250X).
+
+Section 3.1 notes that "two GCDs on one GPU card still creates certain
+measurement inaccuracies": the per-card counter cannot split energy
+between its two ranks, so the analysis divides it evenly.  This ablation
+quantifies the residual per-rank error against the simulator's ground
+truth (per-GCD traces — information no real sensor provides) as a
+function of the load imbalance between card-mates.
+"""
+
+import numpy as np
+from conftest import write_result
+
+from repro.config import LUMI_G
+from repro.hardware import Cluster, VirtualClock
+from repro.instrumentation import EnergyProfiler
+from repro.mpi import RankPlacement, RankWork, SpmdEngine
+from repro.sensors import NodeTelemetry
+
+IMBALANCES = (0.0, 0.05, 0.15, 0.30)
+STEPS = 40
+
+
+def _run_with_imbalance(imbalance: float):
+    clock = VirtualClock()
+    cluster = Cluster("c", clock, LUMI_G.node_spec, 1, LUMI_G.network)
+    telemetries = [NodeTelemetry(cluster.nodes[0], LUMI_G, clock)]
+    placement = RankPlacement(cluster)
+    engine = SpmdEngine(placement)
+    profiler = EnergyProfiler(placement, telemetries, LUMI_G)
+    rng = np.random.default_rng(3)
+
+    profiler.start_app()
+    truth = np.zeros(placement.size)
+    for _ in range(STEPS):
+        durations = 2.0 * (
+            1.0 + imbalance * rng.uniform(-1.0, 1.0, size=placement.size)
+        )
+        works = [
+            RankWork(duration=float(d), gpu_compute=0.9, gpu_memory=0.6)
+            for d in durations
+        ]
+        starts = {r: clock.now for r in range(placement.size)}
+        for r in range(placement.size):
+            profiler.begin(r)
+        t0 = clock.now
+        result = engine.run_phase(works)
+        for r in range(placement.size):
+            # Close each rank's region at phase end (post-hoc; energies
+            # were accumulated against per-rank end in the scaled app, but
+            # for the ablation a shared end keeps the bookkeeping simple).
+            profiler.end(r, "Kernel")
+            truth[r] += placement.gpu_of(r).energy_between(
+                t0, float(result.end_times[r])
+            )
+            # Ground truth also owns the idle tail until the barrier.
+            truth[r] += placement.gpu_of(r).energy_between(
+                float(result.end_times[r]), result.t_end
+            )
+    profiler.end_app()
+    run = profiler.gather("ablation", STEPS, 1e6)
+
+    errors = []
+    for r in range(placement.size):
+        raw = run.record(r, "Kernel").joules["gpu"]
+        attributed = raw / run.gcds_per_card
+        errors.append(abs(attributed - truth[r]) / truth[r])
+    return float(np.mean(errors)), float(np.max(errors))
+
+
+def bench_gcd_attribution_ablation(benchmark, results_dir):
+    def sweep():
+        return {imb: _run_with_imbalance(imb) for imb in IMBALANCES}
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    lines = [
+        "Per-rank GPU energy error from even per-card attribution (LUMI-G)",
+        f"{'imbalance':>10} {'mean err':>9} {'max err':>9}",
+    ]
+    for imb, (mean_err, max_err) in rows.items():
+        lines.append(f"{imb:>10.2f} {mean_err:>9.2%} {max_err:>9.2%}")
+
+    # Balanced card-mates attribute almost exactly; imbalance hurts.
+    assert rows[0.0][0] < 0.02
+    assert rows[0.30][1] > rows[0.0][1]
+    assert rows[0.30][1] > 0.02
+
+    lines.append("")
+    lines.append(
+        "Conclusion: even split per card is exact for balanced SPMD ranks "
+        "and degrades with card-internal load imbalance — the residual "
+        "inaccuracy Section 3.1 describes."
+    )
+    write_result(results_dir, "ablation_gcd_attribution", "\n".join(lines))

@@ -1,0 +1,90 @@
+"""Ablation: instrumentation overhead vs time-to-solution.
+
+Section 2 claims the instrumented code's performance is unaffected
+because SPH-EXA runs on the GPU and the CPU is free to handle profiling.
+This ablation makes the claim quantitative: sweep the host-side cost of
+one PMT read and measure the run's dilation.  Realistic read costs
+(pm_counters file reads are ~10-100 us, NVML calls ~1 ms) must be fully
+hidden behind the multi-second GPU kernels; the dilation should only
+appear when the artificial overhead approaches the *shortest* function
+durations.
+"""
+
+from conftest import write_result
+
+from repro.config import CSCS_A100, SUBSONIC_TURBULENCE
+from repro.experiments.runner import functions_for, run_scaled_experiment
+from repro.hardware.cluster import Cluster
+from repro.hardware.clock import VirtualClock
+from repro.instrumentation.profiler import EnergyProfiler
+from repro.mpi.costmodel import CommCostModel
+from repro.mpi.engine import SpmdEngine
+from repro.mpi.mapping import RankPlacement
+from repro.sensors.telemetry import NodeTelemetry
+from repro.sph.perfmodel import SphPerformanceModel
+from repro.sph.scaled import ScaledSphApplication
+
+OVERHEADS_S = (0.0, 1e-4, 1e-3, 1e-2, 0.1, 1.0)
+NUM_STEPS = 20
+
+
+def _run_with_overhead(overhead_s: float) -> float:
+    clock = VirtualClock()
+    cluster = Cluster(
+        "c", clock, CSCS_A100.node_spec, 2, CSCS_A100.network
+    )
+    telemetries = [
+        NodeTelemetry(node, CSCS_A100, clock, seed=i)
+        for i, node in enumerate(cluster.nodes)
+    ]
+    placement = RankPlacement(cluster)
+    engine = SpmdEngine(placement)
+    perfmodel = SphPerformanceModel(
+        CommCostModel(CSCS_A100.network, placement), 150e6
+    )
+    profiler = EnergyProfiler(placement, telemetries, CSCS_A100)
+    app = ScaledSphApplication(
+        engine=engine,
+        profiler=profiler,
+        perfmodel=perfmodel,
+        functions=functions_for(SUBSONIC_TURBULENCE),
+        num_steps=NUM_STEPS,
+        test_case_name=SUBSONIC_TURBULENCE.name,
+        instrumentation_overhead_s=overhead_s,
+    )
+    run = app.run()
+    return run.app_seconds
+
+
+def _sweep():
+    return {w: _run_with_overhead(w) for w in OVERHEADS_S}
+
+
+def bench_instrumentation_overhead(benchmark, results_dir):
+    times = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    baseline = times[0.0]
+
+    lines = [
+        "Run dilation vs per-read instrumentation overhead (CSCS-A100, "
+        f"150M particles/GPU, {NUM_STEPS} steps)",
+        f"{'read cost [s]':>14} {'run time [s]':>13} {'dilation':>9}",
+    ]
+    for overhead, t in times.items():
+        lines.append(f"{overhead:>14.4f} {t:>13.1f} {t / baseline:>9.4f}")
+
+    # Realistic read costs (<= 1 ms) are completely hidden.
+    assert times[1e-4] == baseline
+    assert times[1e-3] == baseline
+    # 10 ms reads start to poke past the sub-10 ms functions (EOS,
+    # Timestep, the update kernels) but stay under a few percent.
+    assert times[1e-2] / baseline < 1.05
+    # The claim breaks only when reads rival the shortest functions.
+    assert times[1.0] / baseline > 1.05
+
+    lines.append("")
+    lines.append(
+        "Realistic PMT read costs are fully hidden behind the GPU kernels "
+        "(the Section 2 claim); dilation appears only for second-scale "
+        "artificial read costs."
+    )
+    write_result(results_dir, "ablation_overhead", "\n".join(lines))

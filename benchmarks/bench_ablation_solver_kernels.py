@@ -1,0 +1,71 @@
+"""Ablation/throughput: raw host performance of the real SPH kernels.
+
+pytest-benchmark timings of the numerical building blocks at a fixed
+problem size, so regressions in the vectorized implementations are
+caught.  These benchmark the *actual solver* (the physics the scaled runs
+stand on), not the simulated cluster.
+"""
+
+import numpy as np
+import pytest
+
+from repro.sph.box import Box
+from repro.sph.gravity import BarnesHutGravity
+from repro.sph.initial_conditions import make_turbulence
+from repro.sph.neighbors import cell_list_pairs, find_neighbors
+from repro.sph.physics import (
+    compute_density,
+    compute_iad_and_divcurl,
+    compute_momentum_energy,
+    ideal_gas_eos,
+)
+
+N_SIDE = 16  # 4096 particles
+
+
+@pytest.fixture(scope="module")
+def state():
+    ps, box = make_turbulence(n_side=N_SIDE, seed=5)
+    rng = np.random.default_rng(5)
+    ps.vel = rng.normal(0.0, 0.05, size=ps.vel.shape)
+    pairs = find_neighbors(ps.pos, ps.h, box)
+    ps.nc = pairs.neighbor_counts()
+    compute_density(ps, pairs)
+    ideal_gas_eos(ps)
+    compute_iad_and_divcurl(ps, pairs)
+    return ps, box, pairs
+
+
+def bench_neighbor_search(benchmark, state):
+    ps, box, _ = state
+    pairs = benchmark(cell_list_pairs, ps.pos, ps.h, box)
+    assert pairs.n_pairs > 0
+
+
+def bench_density(benchmark, state):
+    ps, box, pairs = state
+    benchmark(compute_density, ps, pairs)
+    assert np.all(ps.rho > 0)
+
+
+def bench_iad(benchmark, state):
+    ps, box, pairs = state
+    benchmark(compute_iad_and_divcurl, ps, pairs)
+
+
+def bench_momentum_energy(benchmark, state):
+    ps, box, pairs = state
+    benchmark(compute_momentum_energy, ps, pairs)
+    assert np.all(np.isfinite(ps.acc))
+
+
+def bench_barnes_hut(benchmark):
+    rng = np.random.default_rng(11)
+    pos = rng.normal(0.0, 1.0, size=(4096, 3))
+    mass = np.full(4096, 1.0 / 4096)
+
+    def build_and_evaluate():
+        return BarnesHutGravity(pos, mass, theta=0.6, eps=0.02).acceleration()
+
+    acc = benchmark(build_and_evaluate)
+    assert np.all(np.isfinite(acc))

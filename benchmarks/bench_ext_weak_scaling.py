@@ -1,0 +1,39 @@
+"""Extension benchmark: weak scaling of the simulated runs.
+
+Constant particles-per-GPU while growing the machine (the paper's 8-48
+card sweep, analysed for scaling rather than totals): time per step and
+energy per card should stay near flat, with the DomainDecompAndSync share
+creeping up as the log(p) collectives and halo surfaces grow.
+"""
+
+from conftest import write_result
+
+from repro.config import CSCS_A100, LUMI_G
+from repro.experiments.scaling import weak_scaling_series, weak_scaling_table
+
+CARD_COUNTS = (8, 16, 32, 48)
+NUM_STEPS = 50
+
+
+def _sweep():
+    return {
+        system.name: weak_scaling_series(system, CARD_COUNTS, num_steps=NUM_STEPS)
+        for system in (LUMI_G, CSCS_A100)
+    }
+
+
+def bench_weak_scaling(benchmark, results_dir):
+    series = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+
+    blocks = []
+    for name, points in series.items():
+        times = [p.seconds_per_step for p in points]
+        per_card = [p.joules_per_card for p in points]
+        # Near-ideal weak scaling.
+        assert times[-1] < 1.2 * times[0], f"{name}: step time blew up"
+        assert max(per_card) < 1.2 * min(per_card), f"{name}: energy/card drift"
+        # Communication share does not shrink with scale.
+        assert points[-1].domain_sync_share >= points[0].domain_sync_share - 0.01
+        blocks.append(f"--- {name} ---\n" + weak_scaling_table(points))
+
+    write_result(results_dir, "ext_weak_scaling", "\n\n".join(blocks))

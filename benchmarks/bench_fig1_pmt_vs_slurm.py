@@ -1,0 +1,49 @@
+"""Figure 1: PMT-measured vs Slurm-reported energy, 8-48 GPU cards.
+
+Paper shape to reproduce: PMT < Slurm at every scale on both systems
+(Slurm integrates from job submission, PMT from the first time-step), and
+the relative underestimation is larger on LUMI-G than on CSCS-A100.
+"""
+
+from conftest import write_result
+
+from repro.config import CSCS_A100, LUMI_G
+from repro.experiments.validation import (
+    FIGURE1_CARD_COUNTS,
+    figure1_series,
+    figure1_table,
+)
+
+#: Full paper fidelity: 100 time-steps per run.
+NUM_STEPS = 100
+
+
+def _run_both_systems():
+    lumi = figure1_series(LUMI_G, FIGURE1_CARD_COUNTS, num_steps=NUM_STEPS)
+    cscs = figure1_series(CSCS_A100, FIGURE1_CARD_COUNTS, num_steps=NUM_STEPS)
+    return lumi, cscs
+
+
+def bench_figure1(benchmark, results_dir):
+    lumi, cscs = benchmark.pedantic(_run_both_systems, rounds=1, iterations=1)
+
+    for point in lumi + cscs:
+        assert point.pmt_joules < point.slurm_joules, (
+            f"PMT must underestimate vs Slurm at {point.num_cards} cards "
+            f"on {point.system_name}"
+        )
+        assert point.ratio > 0.6, "PMT should capture the bulk of the job"
+
+    # LUMI-G underestimates more at every scale.
+    for l, c in zip(lumi, cscs):
+        assert l.ratio < c.ratio, (
+            f"LUMI-G gap must exceed CSCS-A100 gap at {l.num_cards} cards"
+        )
+
+    # Energy grows with scale.
+    for series in (lumi, cscs):
+        slurm = [p.slurm_joules for p in series]
+        assert slurm == sorted(slurm)
+
+    text = "\n\n".join(figure1_table(series) for series in (lumi, cscs))
+    write_result(results_dir, "fig1_pmt_vs_slurm", text)

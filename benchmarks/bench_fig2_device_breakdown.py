@@ -1,0 +1,54 @@
+"""Figure 2: device breakdown of consumed energy.
+
+Paper shape to reproduce: GPUs consume ~74-77 % of the energy on both
+systems; "Other" is the second-largest category; the memory category is
+measured only on LUMI-G (CSCS-A100 folds it into Other); totals order as
+LUMI-Turb > LUMI-Evr > CSCS-Turb > CSCS-Evr (paper: 24.4, 15.2, 12.5,
+10.7 MJ).
+"""
+
+from conftest import write_result
+
+from repro.experiments.breakdowns import figure2_breakdowns
+from repro.units import joules_to_megajoules
+
+NUM_STEPS = 100
+
+
+def bench_figure2(benchmark, results_dir):
+    cells = benchmark.pedantic(
+        figure2_breakdowns, kwargs={"num_steps": NUM_STEPS}, rounds=1, iterations=1
+    )
+    by_label = {cell.label: cell for cell in cells}
+
+    lines = [
+        f"{'Run':>14} {'Total [MJ]':>11} {'GPU':>7} {'CPU':>7} "
+        f"{'Memory':>7} {'Other':>7}"
+    ]
+    for cell in cells:
+        shares = cell.devices.shares
+        # GPU dominates in the paper's band.
+        assert 0.65 < shares["GPU"] < 0.85, f"{cell.label}: GPU share {shares['GPU']}"
+        ordered = sorted(shares, key=shares.get, reverse=True)
+        assert ordered[0] == "GPU"
+        assert ordered[1] == "Other"
+        # Memory sensor only on LUMI-G.
+        assert ("Memory" in shares) == cell.label.startswith("LUMI")
+        lines.append(
+            f"{cell.label:>14} "
+            f"{joules_to_megajoules(cell.devices.total_joules):>11.2f} "
+            f"{shares['GPU']:>6.1%} {shares['CPU']:>6.1%} "
+            f"{shares.get('Memory', 0.0):>6.1%} {shares['Other']:>6.1%}"
+        )
+
+    totals = {label: by_label[label].devices.total_joules for label in by_label}
+    # Paper ordering: LUMI-Turb > LUMI-Evr > CSCS-Turb > CSCS-Evr.
+    assert totals["LUMI-Turb"] > totals["LUMI-Evr"]
+    assert totals["LUMI-Evr"] > totals["CSCS-A100-Turb"]
+    assert totals["CSCS-A100-Turb"] > totals["CSCS-A100-Evr"]
+
+    lines.append("")
+    lines.append("Paper totals (MJ): LUMI-Turb 24.4, LUMI-Evr 15.2, "
+                 "CSCS-A100-Turb 12.5, CSCS-A100-Evr 10.7")
+    lines.append("Paper GPU shares: 74.3% (LUMI-G), 76.4% (CSCS-A100)")
+    write_result(results_dir, "fig2_device_breakdown", "\n".join(lines))

@@ -1,0 +1,69 @@
+"""Figure 3: per-function energy breakdown on GPU and CPU.
+
+Paper shape to reproduce: MomentumEnergy is the top GPU-energy function
+everywhere, but its share of GPU energy is far larger on LUMI-G (45.80 %,
+11.2 MJ) than on CSCS-A100 (25.29 %, 3.1 MJ) — the indication that the
+kernel "can further be optimized for AMD GPUs".  The same functions also
+dominate CPU energy, because the CPU draws power for each function's
+duration even though the GPU does the work.
+"""
+
+from conftest import write_result
+
+from repro.experiments.breakdowns import figure3_breakdowns
+from repro.units import joules_to_megajoules
+
+NUM_STEPS = 100
+
+
+def bench_figure3(benchmark, results_dir):
+    cells = benchmark.pedantic(
+        figure3_breakdowns, kwargs={"num_steps": NUM_STEPS}, rounds=1, iterations=1
+    )
+    by_label = {cell.label: cell for cell in cells}
+    lines = []
+
+    def me_share(cell):
+        total = sum(r.joules for r in cell.gpu_functions)
+        me = next(r for r in cell.gpu_functions if r.function == "MomentumEnergy")
+        return me.joules / total, me.joules
+
+    for cell in cells:
+        lines.append(f"--- {cell.label} ({cell.result.num_cards} cards) ---")
+        total_gpu = sum(r.joules for r in cell.gpu_functions)
+        for row in cell.gpu_functions:
+            lines.append(
+                f"  GPU {row.function:>22} "
+                f"{joules_to_megajoules(row.joules):>8.3f} MJ "
+                f"{row.joules / total_gpu:>7.2%}  t={row.seconds:>7.1f}s"
+            )
+        # MomentumEnergy dominates GPU energy in every cell.
+        assert cell.gpu_functions[0].function == "MomentumEnergy"
+        # CPU energy broadly tracks function duration (the CPU draws power
+        # for as long as each function runs, even while the GPU works):
+        # the top CPU-energy function is among the longest-running ones.
+        top_cpu = cell.cpu_functions[0].function
+        longest = [
+            r.function
+            for r in sorted(
+                cell.gpu_functions, key=lambda r: r.seconds, reverse=True
+            )[:3]
+        ]
+        assert top_cpu in longest, f"{cell.label}: {top_cpu} not in {longest}"
+        lines.append("")
+
+    lumi_share, lumi_me_mj = me_share(by_label["LUMI-Turb"])
+    cscs_share, cscs_me_mj = me_share(by_label["CSCS-A100-Turb"])
+    # The headline contrast, with generous tolerance around the paper's
+    # 45.80 % vs 25.29 %.
+    assert lumi_share > cscs_share + 0.08
+    assert 0.35 < lumi_share < 0.55
+    assert 0.18 < cscs_share < 0.35
+
+    lines.append(
+        f"MomentumEnergy share of GPU energy: LUMI-Turb {lumi_share:.2%} "
+        f"({joules_to_megajoules(lumi_me_mj):.1f} MJ), CSCS-A100-Turb "
+        f"{cscs_share:.2%} ({joules_to_megajoules(cscs_me_mj):.1f} MJ)"
+    )
+    lines.append("Paper: LUMI-G 45.80% (11.2 MJ), CSCS-A100 25.29% (3.1 MJ)")
+    write_result(results_dir, "fig3_function_breakdown", "\n".join(lines))

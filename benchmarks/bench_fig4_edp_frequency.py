@@ -1,0 +1,42 @@
+"""Figure 4: normalized EDP vs GPU compute frequency on miniHPC.
+
+Paper shape to reproduce: as the A100 compute clock drops from 1410 to
+1005 MHz, time-to-solution increases but the EDP *decreases* for every
+problem size; the smallest problem (200^3 particles per GPU, under-
+utilized GPUs) drops the most.
+"""
+
+from conftest import write_result
+
+from repro.config import A100_SWEEP_FREQS_MHZ
+from repro.experiments.frequency import FIGURE4_CUBE_SIDES, figure4_series
+
+NUM_STEPS = 100
+
+
+def bench_figure4(benchmark, results_dir):
+    series = benchmark.pedantic(
+        figure4_series, kwargs={"num_steps": NUM_STEPS}, rounds=1, iterations=1
+    )
+
+    freqs = sorted((float(f) for f in A100_SWEEP_FREQS_MHZ), reverse=True)
+    lines = [
+        "Normalized EDP (baseline 1410 MHz), Subsonic Turbulence on miniHPC",
+        "side^3/GPU " + " ".join(f"{f:>7.0f}" for f in freqs),
+    ]
+    for side in FIGURE4_CUBE_SIDES:
+        norm = series[side]
+        lines.append(
+            f"{side:>7}^3  " + " ".join(f"{norm[f]:>7.3f}" for f in freqs)
+        )
+        assert norm[1410.0] == 1.0
+        # EDP decreases when frequency is reduced.
+        assert norm[1005.0] < 0.98, f"{side}^3 EDP should drop at 1005 MHz"
+        # Broadly monotone: the lowest frequency gives (near) minimal EDP.
+        assert norm[1005.0] <= min(norm.values()) + 0.03
+
+    # The under-utilized 200^3 case drops the most (paper's green curve).
+    assert series[200][1005.0] < series[450][1005.0] - 0.02
+    assert series[200][1005.0] == min(s[1005.0] for s in series.values())
+
+    write_result(results_dir, "fig4_edp_frequency", "\n".join(lines))

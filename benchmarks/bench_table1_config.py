@@ -1,0 +1,28 @@
+"""Table 1: simulation and computing-system parameters.
+
+Regenerates the paper's configuration inventory from the live config
+objects and checks every row.
+"""
+
+from conftest import write_result
+
+from repro.experiments import table1_text
+
+
+def bench_table1(benchmark, results_dir):
+    text = benchmark.pedantic(table1_text, rounds=1, iterations=1)
+    for needle in (
+        "Subsonic Turbulence: 150 million particles per GPU",
+        "Evrard Collapse: 80 million particles per GPU",
+        "-s 100 time-steps",
+        "LUMI-G",
+        "CSCS-A100",
+        "miniHPC",
+        "AMD MI250X",
+        "NVIDIA A100-SXM4-80GB",
+        "NVIDIA A100-PCIE-40GB",
+        "1700 MHz",
+        "1410 MHz",
+    ):
+        assert needle in text, f"Table 1 row missing: {needle}"
+    write_result(results_dir, "table1_config", text)

@@ -1,0 +1,27 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper, asserts its
+qualitative shape, and writes the reproduced rows/series to
+``benchmarks/results/<name>.txt`` so the output survives pytest's stdout
+capture.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def write_result(results_dir: Path, name: str, text: str) -> None:
+    """Persist one benchmark's reproduced table/series."""
+    (results_dir / f"{name}.txt").write_text(text + "\n")
+    print(f"\n=== {name} ===\n{text}")

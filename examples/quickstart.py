@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Quickstart: measure a workload's energy with the PMT API.
+
+This is the 'hello world' of the library: build one simulated GPU node,
+create PMT meters through the same ``create(backend)`` factory the paper's
+instrumentation uses, run a synthetic workload, and read device-level
+energy — including the counter arithmetic (``PMT.seconds / joules /
+watts``) that mirrors the original toolkit.
+
+Run:  python examples/quickstart.py
+"""
+
+import repro.pmt as pmt
+from repro.config import CSCS_A100
+from repro.hardware import Node, VirtualClock
+from repro.sensors import NodeTelemetry
+from repro.units import format_energy, format_power
+
+
+def main() -> None:
+    # One CSCS-A100 node: EPYC 7713 + 4x A100-SXM4-80GB on a shared
+    # virtual clock.  Sensors (NVML per card, RAPL for the CPU, IPMI for
+    # the node) observe the ground-truth power traces imperfectly, just
+    # like real telemetry.
+    clock = VirtualClock()
+    node = Node("node0", clock, CSCS_A100.node_spec)
+    telemetry = NodeTelemetry(node, CSCS_A100, clock)
+
+    print("Available PMT backends:", ", ".join(pmt.available_backends()))
+
+    gpu_meter = pmt.create("nvml", telemetry=telemetry, device_index=0)
+    cpu_meter = pmt.create("rapl", telemetry=telemetry)
+
+    # Instrument a synthetic 'kernel': GPU 0 fully busy for 30 seconds.
+    gpu_start = gpu_meter.read()
+    cpu_start = cpu_meter.read()
+
+    node.gpus[0].set_load(0.95, 0.80)   # compute + memory utilization
+    node.cpu.set_load(0.10, 0.05)       # host driving the GPU
+    clock.advance(30.0)
+    node.all_idle()
+
+    gpu_end = gpu_meter.read()
+    cpu_end = cpu_meter.read()
+
+    seconds = pmt.PMT.seconds(gpu_start, gpu_end)
+    gpu_joules = pmt.PMT.joules(gpu_start, gpu_end)
+    cpu_joules = pmt.PMT.joules(cpu_start, cpu_end)
+
+    print(f"\nRegion length : {seconds:.1f} s")
+    print(
+        f"GPU 0         : {format_energy(gpu_joules)} "
+        f"({format_power(pmt.PMT.watts(gpu_start, gpu_end))} average)"
+    )
+    print(
+        f"CPU package   : {format_energy(cpu_joules)} "
+        f"({format_power(pmt.PMT.watts(cpu_start, cpu_end))} average)"
+    )
+
+    # Ground truth is available in simulation (never on real hardware):
+    truth = node.cards[0].energy_between(0.0, 30.0)
+    error = abs(gpu_joules - truth) / truth
+    print(f"\nGround-truth GPU energy: {format_energy(truth)}")
+    print(f"NVML measurement error : {error:.2%} (sensor noise + cadence)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Run the real (small-N) SPH solver: driven subsonic turbulence.
+
+Exercises the actual numerics the framework is built on — cubic-spline
+SPH with IAD gradients, Ornstein-Uhlenbeck solenoidal driving, SFC domain
+sync — and shows the profiling hooks the paper attaches PMT to, here in
+their original role: per-function host timings.
+
+Run:  python examples/turbulence_small.py
+"""
+
+import numpy as np
+
+from repro.sph import Simulation
+from repro.sph.driving import TurbulenceDriver
+from repro.sph.initial_conditions import make_turbulence
+from repro.sph.propagator import Propagator
+
+
+def main() -> None:
+    n_side = 10  # 1000 particles: seconds on a laptop
+    steps = 25
+
+    ps, box = make_turbulence(n_side=n_side, sound_speed=1.0, seed=42)
+    driver = TurbulenceDriver(
+        box, amplitude=2.0, correlation_time=0.5, seed=42
+    )
+    propagator = Propagator(box, driver=driver, n_target=100)
+    sim = Simulation(ps, propagator)
+
+    print(f"Subsonic turbulence: {ps.n} particles, {steps} steps")
+    print(f"{'step':>5} {'dt':>9} {'Mach':>7} {'E_kin':>9} {'E_int':>9} {'<nbr>':>6}")
+    for k in range(steps):
+        stats = sim.step()
+        if (k + 1) % 5 == 0:
+            cs = float(np.mean(ps.c))
+            vrms = float(
+                np.sqrt(np.mean(np.sum(ps.vel**2, axis=1)))
+            )
+            print(
+                f"{stats.step:>5} {stats.dt:>9.4f} {vrms / cs:>7.3f} "
+                f"{stats.totals.kinetic:>9.4f} {stats.totals.internal:>9.4f} "
+                f"{stats.mean_neighbors:>6.1f}"
+            )
+
+    print("\nPer-function host timings (the hooks PMT attaches to):")
+    total = sum(sim.hooks.timings.values())
+    for name in propagator.function_sequence:
+        t = sim.hooks.timings[name]
+        print(f"  {name:>24} {t:8.3f} s  {t / total:6.1%}")
+
+    drift = np.abs(ps.momentum()).max()
+    print(f"\nMomentum magnitude (driving injects some): {drift:.3e}")
+    print(f"Simulated physical time: {sim.time:.3f} code units")
+
+    # Physical diagnostics of the driven state.
+    from repro.sph.observables import (
+        density_pdf_stats,
+        rms_mach_number,
+        velocity_power_spectrum,
+    )
+
+    mach = rms_mach_number(ps)
+    stats = density_pdf_stats(ps)
+    k, spectrum = velocity_power_spectrum(ps, box, n_grid=16)
+    low_k = spectrum[k <= 3].sum() / max(spectrum.sum(), 1e-300)
+    print(f"RMS Mach number         : {mach:.3f} (subsonic)")
+    print(f"log-density sigma       : {stats['sigma_s']:.3f} (narrow)")
+    print(f"spectral energy at k<=3 : {low_k:.1%} (the driven shell)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,38 @@
+"""repro — application-level energy measurement for large-scale simulations.
+
+A complete Python reproduction of Simsek, Piccinali & Ciorba,
+"Accurate Measurement of Application-level Energy Consumption for
+Energy-Aware Large-Scale Simulations" (SC-W 2023): the PMT power
+measurement toolkit, an SPH-EXA-style simulation framework (with a real
+small-N solver), and the simulated CPU+GPU cluster substrate (hardware
+power models, pm_counters/NVML/RAPL/IPMI sensors, Slurm accounting, MPI
+runtime) the paper's experiments need.
+
+Subpackages
+-----------
+``repro.hardware``
+    Virtual clock, power traces, device/node/cluster models, DVFS.
+``repro.sensors``
+    Imperfect telemetry (cadence, quantization, wraparound, per-card
+    attribution) over the ground-truth traces; fault injection.
+``repro.pmt``
+    The PMT-compatible measurement API with cray/nvml/rapl/rocm/
+    composite/dummy backends and a background sampler.
+``repro.mpi`` / ``repro.slurm``
+    Rank placement, communication costs, the SPMD phase engine; job
+    lifecycle with AcctGatherEnergy accounting and sacct reports.
+``repro.sph``
+    The SPH framework: real solver (kernels, IAD, artificial viscosity,
+    Barnes-Hut gravity, turbulence driving, cornerstone octree domain),
+    four validated test cases, and the roofline performance model for
+    paper-scale runs.
+``repro.instrumentation`` / ``repro.analysis`` / ``repro.experiments``
+    Hooks-to-PMT glue and per-rank records; attribution, breakdowns, EDP,
+    validation, comparisons, profiles; one runner per paper table/figure.
+``repro.tuning``
+    Dynamic per-function DVFS (the paper's future work).
+
+See README.md for a quickstart and ``python -m repro --help`` for the CLI.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,100 @@
+"""Terminal-rendered charts for the reproduced figures.
+
+Pure-text plotting so the CLI and the benchmark artifacts can show the
+figure *shapes* without any plotting dependency: grouped horizontal bars
+for breakdowns (Figures 2/3) and multi-series line charts for the
+validation and EDP curves (Figures 1/4/5).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import AnalysisError
+
+#: Characters used to distinguish overlapping series in line charts.
+SERIES_MARKS = "ox+*#@%&"
+
+
+def bar_chart(
+    items: list[tuple[str, float]],
+    width: int = 48,
+    unit: str = "",
+    reference: float | None = None,
+) -> str:
+    """Horizontal bars scaled to the maximum (or ``reference``) value."""
+    if not items:
+        raise AnalysisError("bar chart needs at least one item")
+    top = reference if reference is not None else max(v for _, v in items)
+    if top <= 0:
+        raise AnalysisError("bar chart needs a positive scale")
+    label_width = max(len(name) for name, _ in items)
+    lines = []
+    for name, value in items:
+        filled = int(round(width * max(value, 0.0) / top))
+        filled = min(filled, width)
+        bar = "#" * filled
+        lines.append(f"{name:>{label_width}} |{bar:<{width}} {value:g}{unit}")
+    return "\n".join(lines)
+
+
+def line_chart(
+    series: dict[str, dict[float, float]],
+    height: int = 12,
+    width: int = 60,
+    y_label: str = "",
+) -> str:
+    """Multi-series scatter/line chart on a character grid.
+
+    ``series`` maps a series name to its ``{x: y}`` points.  All series
+    share the axes; each gets a mark character, listed in the legend.
+    """
+    if not series:
+        raise AnalysisError("line chart needs at least one series")
+    xs = sorted({x for points in series.values() for x in points})
+    ys = [y for points in series.values() for y in points.values()]
+    if not xs or not ys:
+        raise AnalysisError("line chart needs data points")
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    if y_max == y_min:
+        y_max = y_min + 1.0
+    if x_max == x_min:
+        x_max = x_min + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for idx, (name, points) in enumerate(series.items()):
+        mark = SERIES_MARKS[idx % len(SERIES_MARKS)]
+        for x, y in points.items():
+            col = int(round((x - x_min) / (x_max - x_min) * (width - 1)))
+            row = int(round((y - y_min) / (y_max - y_min) * (height - 1)))
+            grid[height - 1 - row][col] = mark
+
+    lines = []
+    for k, row in enumerate(grid):
+        if k == 0:
+            axis = f"{y_max:8.3g} "
+        elif k == height - 1:
+            axis = f"{y_min:8.3g} "
+        else:
+            axis = " " * 9
+        lines.append(axis + "|" + "".join(row))
+    lines.append(" " * 9 + "+" + "-" * width)
+    lines.append(
+        " " * 10
+        + f"{x_min:<.6g}"
+        + " " * max(1, width - len(f"{x_min:<.6g}") - len(f"{x_max:.6g}"))
+        + f"{x_max:.6g}"
+    )
+    legend = "  ".join(
+        f"{SERIES_MARKS[idx % len(SERIES_MARKS)]}={name}"
+        for idx, name in enumerate(series)
+    )
+    lines.append(f"{y_label}  [{legend}]")
+    return "\n".join(lines)
+
+
+def share_bars(shares: dict[str, float], width: int = 40) -> str:
+    """Bars for a fraction dictionary (device shares), in percent."""
+    items = [(name, 100.0 * value) for name, value in shares.items()]
+    return bar_chart(items, width=width, unit="%", reference=100.0)

@@ -1,0 +1,79 @@
+"""Device and function energy breakdowns (Figures 2 and 3).
+
+The device breakdown is computed from the per-node application-window
+counter deltas: GPU is the sum of the card counters, CPU and memory are
+their node counters, and **Other** is the calculated remainder
+``node - GPU - CPU - memory`` (Section 2).  On systems without a memory
+sensor (CSCS-A100, miniHPC), memory is *inside* Other — exactly the
+asymmetry Figure 2 shows between the two systems.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.aggregate import function_seconds, function_totals
+from repro.errors import AnalysisError
+from repro.instrumentation.records import RunMeasurements
+
+
+@dataclass(frozen=True)
+class DeviceBreakdown:
+    """Per-device energy over the instrumented window."""
+
+    #: Joules per device category, insertion-ordered for reporting.
+    joules: dict[str, float]
+    total_joules: float
+
+    @property
+    def shares(self) -> dict[str, float]:
+        """Fractions of the total per device category."""
+        if self.total_joules <= 0:
+            raise AnalysisError("non-positive total energy in breakdown")
+        return {k: v / self.total_joules for k, v in self.joules.items()}
+
+
+def device_breakdown(run: RunMeasurements) -> DeviceBreakdown:
+    """Compute the Figure 2 device breakdown for one run."""
+    if not run.node_windows:
+        raise AnalysisError("run has no node-window records")
+    gpu = sum(sum(w.card_joules) for w in run.node_windows)
+    cpu = sum(w.cpu_joules for w in run.node_windows)
+    node = sum(w.node_joules for w in run.node_windows)
+    has_memory = run.node_windows[0].memory_joules is not None
+    memory = (
+        sum(w.memory_joules or 0.0 for w in run.node_windows)
+        if has_memory
+        else 0.0
+    )
+    other = max(node - gpu - cpu - memory, 0.0)
+    joules = {"GPU": gpu, "CPU": cpu}
+    if has_memory:
+        joules["Memory"] = memory
+    joules["Other"] = other
+    return DeviceBreakdown(joules=joules, total_joules=node)
+
+
+@dataclass(frozen=True)
+class FunctionRow:
+    """One function's attributed energy and time on one device."""
+
+    function: str
+    joules: float
+    seconds: float
+
+
+def function_breakdown(run: RunMeasurements, counter: str) -> list[FunctionRow]:
+    """Compute the Figure 3 per-function breakdown for one counter.
+
+    ``counter`` is one of ``gpu``, ``cpu``, ``memory``, ``node``.  Rows
+    come back sorted by descending energy.
+    """
+    totals = function_totals(run, counter)
+    seconds = function_seconds(run)
+    rows = [
+        FunctionRow(function=name, joules=joules, seconds=seconds[name])
+        for name, joules in totals.items()
+    ]
+    rows.sort(key=lambda r: r.joules, reverse=True)
+    return rows

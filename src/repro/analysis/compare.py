@@ -1,0 +1,131 @@
+"""A/B comparison of instrumented runs.
+
+The paper's punchline for Figure 3 is a *comparison*: MomentumEnergy
+costs 45.8 % of GPU energy on LUMI-G but 25.3 % on CSCS-A100, therefore
+the kernel "can further be optimized for AMD GPUs".  This module turns
+that reasoning into a reusable report: given two measurement sets (two
+systems, two code versions, two frequencies), it ranks functions by how
+much worse they got — normalized per particle-step so different scales
+compare fairly — and names the optimization targets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.aggregate import function_seconds, function_totals
+from repro.errors import AnalysisError
+from repro.instrumentation.records import RunMeasurements
+
+
+@dataclass(frozen=True)
+class FunctionDelta:
+    """One function's A-vs-B comparison (per particle-step normalized)."""
+
+    function: str
+    a_joules_per_pstep: float
+    b_joules_per_pstep: float
+    a_seconds_share: float
+    b_seconds_share: float
+
+    @property
+    def energy_ratio(self) -> float:
+        """B / A energy per particle-step (> 1: B is worse)."""
+        if self.a_joules_per_pstep <= 0:
+            raise AnalysisError(
+                f"function {self.function!r} has no energy in run A"
+            )
+        return self.b_joules_per_pstep / self.a_joules_per_pstep
+
+
+def _per_pstep(run: RunMeasurements, counter: str) -> dict[str, float]:
+    """Energy per (particle * step), so scales/dimensions cancel."""
+    work = run.particles_per_rank * run.num_ranks * run.num_steps
+    if work <= 0:
+        raise AnalysisError("run has no work to normalize by")
+    return {
+        name: joules / work
+        for name, joules in function_totals(run, counter).items()
+    }
+
+
+def compare_runs(
+    run_a: RunMeasurements,
+    run_b: RunMeasurements,
+    counter: str = "gpu",
+) -> list[FunctionDelta]:
+    """Per-function comparison, sorted by B/A energy ratio (worst first).
+
+    Only functions present in both runs are compared.
+    """
+    a_energy = _per_pstep(run_a, counter)
+    b_energy = _per_pstep(run_b, counter)
+    a_seconds = function_seconds(run_a)
+    b_seconds = function_seconds(run_b)
+    a_total = sum(a_seconds.values())
+    b_total = sum(b_seconds.values())
+
+    deltas = []
+    for name in a_energy:
+        if name not in b_energy or a_energy[name] <= 0:
+            continue
+        deltas.append(
+            FunctionDelta(
+                function=name,
+                a_joules_per_pstep=a_energy[name],
+                b_joules_per_pstep=b_energy[name],
+                a_seconds_share=a_seconds[name] / a_total,
+                b_seconds_share=b_seconds[name] / b_total,
+            )
+        )
+    deltas.sort(key=lambda d: d.energy_ratio, reverse=True)
+    return deltas
+
+
+def optimization_targets(
+    deltas: list[FunctionDelta],
+    ratio_threshold: float = 1.5,
+    min_share: float = 0.05,
+) -> list[str]:
+    """Functions that are both much worse in B and significant in B.
+
+    This is the Figure 3 inference automated: a function whose
+    per-particle energy is >= ``ratio_threshold`` times run A's *and*
+    which holds at least ``min_share`` of run B's time is an optimization
+    target on platform/version B.
+    """
+    return [
+        d.function
+        for d in deltas
+        if d.energy_ratio >= ratio_threshold and d.b_seconds_share >= min_share
+    ]
+
+
+def comparison_report(
+    run_a: RunMeasurements,
+    run_b: RunMeasurements,
+    counter: str = "gpu",
+    label_a: str | None = None,
+    label_b: str | None = None,
+) -> str:
+    """Human-readable A/B comparison table."""
+    label_a = label_a or run_a.system_name
+    label_b = label_b or run_b.system_name
+    deltas = compare_runs(run_a, run_b, counter)
+    lines = [
+        f"Per-function {counter.upper()} energy per particle-step: "
+        f"{label_b} vs {label_a}",
+        f"{'Function':>24} {'B/A':>7} {'A share':>8} {'B share':>8}",
+    ]
+    for d in deltas:
+        lines.append(
+            f"{d.function:>24} {d.energy_ratio:>7.2f} "
+            f"{d.a_seconds_share:>8.1%} {d.b_seconds_share:>8.1%}"
+        )
+    targets = optimization_targets(deltas)
+    if targets:
+        lines.append("")
+        lines.append(
+            f"Optimization targets on {label_b}: " + ", ".join(targets)
+        )
+    return "\n".join(lines)

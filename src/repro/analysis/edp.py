@@ -1,0 +1,61 @@
+"""Energy-delay products (Figures 4 and 5).
+
+EDP = energy x time; the paper normalizes each frequency's EDP to the
+1410 MHz baseline, both for whole simulations (Figure 4) and per loop
+function (Figure 5).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.aggregate import function_seconds, function_totals
+from repro.analysis.breakdown import device_breakdown
+from repro.errors import AnalysisError
+from repro.instrumentation.records import RunMeasurements
+
+
+def edp(joules: float, seconds: float) -> float:
+    """The energy-delay product."""
+    if joules < 0 or seconds < 0:
+        raise AnalysisError("EDP inputs must be non-negative")
+    return joules * seconds
+
+
+def run_edp(run: RunMeasurements) -> float:
+    """Whole-run EDP from the PMT-measured device energies.
+
+    Uses the GPU counters — on miniHPC, the frequency-sweep system, the
+    GPU is the device whose clock is scaled and the one PMT measures with
+    per-function resolution (NVML), so the Figure 4 EDP is built from the
+    same energy as the Figure 5 per-function EDPs.
+    """
+    total = sum(function_totals(run, "gpu").values())
+    return edp(total, run.app_seconds)
+
+
+def function_edp(run: RunMeasurements) -> dict[str, float]:
+    """Per-function EDP from attributed device energies and mean time.
+
+    Uses the GPU counter: on the frequency-sweep system the GPU is both
+    the device whose clock is being scaled and the only one with a
+    fine-grained per-function sensor (NVML; the 1 Hz IPMI node counter
+    quantizes sub-second functions to zero energy).
+    """
+    gpu = function_totals(run, "gpu")
+    seconds = function_seconds(run)
+    return {name: edp(gpu[name], seconds[name]) for name in gpu}
+
+
+def normalized_edp_series(
+    by_frequency: dict[float, float], baseline_mhz: float
+) -> dict[float, float]:
+    """Normalize an ``{MHz: EDP}`` mapping to the baseline frequency."""
+    try:
+        base = by_frequency[baseline_mhz]
+    except KeyError:
+        raise AnalysisError(
+            f"baseline frequency {baseline_mhz!r} missing from series "
+            f"{sorted(by_frequency)}"
+        ) from None
+    if base <= 0:
+        raise AnalysisError("baseline EDP must be positive")
+    return {freq: value / base for freq, value in sorted(by_frequency.items())}

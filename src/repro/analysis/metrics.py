@@ -1,0 +1,103 @@
+"""Energy-efficiency metrics beyond the EDP.
+
+The DVFS literature the paper cites uses a family of figures of merit;
+this module provides them over gathered measurements so users can rank
+operating points by whichever trade-off they care about:
+
+* **energy-to-solution** — total joules of the instrumented window;
+* **EDP** (E*t) — the paper's metric (Section 3.2);
+* **ED2P** (E*t^2) — weights performance harder; a down-clock that wins
+  on EDP can lose on ED2P, which is exactly the compute-bound-kernel
+  story of Figure 5;
+* **average power** — for facility-level capping discussions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.aggregate import function_totals
+from repro.errors import AnalysisError
+from repro.instrumentation.records import RunMeasurements
+
+
+@dataclass(frozen=True)
+class EfficiencyMetrics:
+    """Figures of merit of one instrumented run."""
+
+    energy_joules: float
+    seconds: float
+
+    def __post_init__(self) -> None:
+        if self.energy_joules < 0 or self.seconds <= 0:
+            raise AnalysisError("metrics need positive time and energy >= 0")
+
+    @property
+    def edp(self) -> float:
+        """Energy-delay product (E * t)."""
+        return self.energy_joules * self.seconds
+
+    @property
+    def ed2p(self) -> float:
+        """Energy-delay-squared product (E * t^2)."""
+        return self.energy_joules * self.seconds**2
+
+    @property
+    def average_watts(self) -> float:
+        """Mean power over the window."""
+        return self.energy_joules / self.seconds
+
+
+def run_metrics(run: RunMeasurements, counters: tuple[str, ...] = ("gpu", "cpu", "memory")) -> EfficiencyMetrics:
+    """Metrics from the PMT-measured device energies of a run."""
+    total = 0.0
+    for counter in counters:
+        total += sum(function_totals(run, counter).values())
+    return EfficiencyMetrics(energy_joules=total, seconds=run.app_seconds)
+
+
+def rank_operating_points(
+    metrics_by_point: dict[float, EfficiencyMetrics], objective: str = "edp"
+) -> list[float]:
+    """Operating points (e.g. frequencies) sorted best-first.
+
+    ``objective`` is one of ``energy``, ``edp``, ``ed2p``, ``time``.
+    """
+    keys = {
+        "energy": lambda m: m.energy_joules,
+        "edp": lambda m: m.edp,
+        "ed2p": lambda m: m.ed2p,
+        "time": lambda m: m.seconds,
+    }
+    try:
+        key = keys[objective]
+    except KeyError:
+        raise AnalysisError(
+            f"unknown objective {objective!r}; pick from {sorted(keys)}"
+        ) from None
+    return sorted(metrics_by_point, key=lambda p: key(metrics_by_point[p]))
+
+
+def pareto_front(
+    metrics_by_point: dict[float, EfficiencyMetrics]
+) -> list[float]:
+    """Operating points not dominated in (time, energy).
+
+    A point dominates another when it is at least as fast *and* at least
+    as energy-frugal, and strictly better in one of the two — the
+    Pareto-optimal trade-offs Section 3.2 alludes to.
+    """
+    points = list(metrics_by_point.items())
+    front = []
+    for p, m in points:
+        dominated = any(
+            (other.seconds <= m.seconds and other.energy_joules <= m.energy_joules)
+            and (
+                other.seconds < m.seconds or other.energy_joules < m.energy_joules
+            )
+            for q, other in points
+            if q != p
+        )
+        if not dominated:
+            front.append(p)
+    return sorted(front)

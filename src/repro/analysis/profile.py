@@ -1,0 +1,71 @@
+"""Power-profile analysis over PMT sampler dumps.
+
+The toolkit's background sampler (:class:`repro.pmt.PmtSampler`) produces
+``timestamp joules watts`` rows; this module turns them into the views a
+user wants after a run: summary statistics, energy cross-checks (counter
+difference vs power integration), and a terminal timeline chart showing
+the step structure (compute plateaus, communication dips).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.ascii_plot import line_chart
+from repro.errors import AnalysisError
+from repro.pmt.sampler import SampleRow
+
+
+@dataclass(frozen=True)
+class ProfileStats:
+    """Summary of one power profile."""
+
+    duration_s: float
+    mean_watts: float
+    max_watts: float
+    min_watts: float
+    #: Energy from the counter difference (first to last row).
+    counter_joules: float
+    #: Energy from trapezoidal integration of the sampled power.
+    integrated_joules: float
+
+    @property
+    def integration_error(self) -> float:
+        """Relative disagreement between the two energy estimates."""
+        if self.counter_joules <= 0:
+            raise AnalysisError("counter energy must be positive")
+        return abs(self.integrated_joules - self.counter_joules) / self.counter_joules
+
+
+def profile_stats(rows: list[SampleRow]) -> ProfileStats:
+    """Compute summary statistics of a sampler dump."""
+    if len(rows) < 2:
+        raise AnalysisError("a power profile needs at least two samples")
+    times = np.array([r.timestamp for r in rows])
+    watts = np.array([r.watts for r in rows])
+    if np.any(np.diff(times) < 0):
+        raise AnalysisError("sampler rows must be time-ordered")
+    duration = float(times[-1] - times[0])
+    if duration <= 0:
+        raise AnalysisError("profile spans zero time")
+    integrated = float(np.trapezoid(watts, times))
+    return ProfileStats(
+        duration_s=duration,
+        mean_watts=float(watts.mean()),
+        max_watts=float(watts.max()),
+        min_watts=float(watts.min()),
+        counter_joules=rows[-1].joules - rows[0].joules,
+        integrated_joules=integrated,
+    )
+
+
+def power_timeline_chart(
+    rows: list[SampleRow], height: int = 10, width: int = 70, label: str = "node"
+) -> str:
+    """Render the sampled power as a terminal timeline."""
+    if len(rows) < 2:
+        raise AnalysisError("a power timeline needs at least two samples")
+    series = {label: {r.timestamp: r.watts for r in rows}}
+    return line_chart(series, height=height, width=width, y_label="watts vs seconds")

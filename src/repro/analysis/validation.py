@@ -1,0 +1,55 @@
+"""PMT-vs-Slurm validation (Figure 1).
+
+Slurm's ConsumedEnergy integrates node counters from job submission to
+epilog; PMT's instrumented window starts at the first time-step.  The
+validation compares the two totals: PMT <= Slurm always, and the gap is
+the launch/init/teardown energy — larger on systems with slower setup and
+higher idle draw (LUMI-G).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import AnalysisError
+from repro.instrumentation.records import RunMeasurements
+from repro.slurm.job import JobAccounting
+
+
+@dataclass(frozen=True)
+class ValidationPoint:
+    """One system/scale point of the Figure 1 comparison."""
+
+    system_name: str
+    num_cards: int
+    pmt_joules: float
+    slurm_joules: float
+
+    @property
+    def ratio(self) -> float:
+        """PMT / Slurm (< 1: PMT underestimates relative to Slurm)."""
+        if self.slurm_joules <= 0:
+            raise AnalysisError("non-positive Slurm energy")
+        return self.pmt_joules / self.slurm_joules
+
+    @property
+    def gap_joules(self) -> float:
+        """Energy Slurm accounts that PMT does not see."""
+        return self.slurm_joules - self.pmt_joules
+
+
+def pmt_total_joules(run: RunMeasurements) -> float:
+    """PMT's whole-application energy: node counters over the app window."""
+    return sum(w.node_joules for w in run.node_windows)
+
+
+def validate_pmt_against_slurm(
+    run: RunMeasurements, accounting: JobAccounting, num_cards: int
+) -> ValidationPoint:
+    """Build one validation point from a completed instrumented job."""
+    return ValidationPoint(
+        system_name=run.system_name,
+        num_cards=num_cards,
+        pmt_joules=pmt_total_joules(run),
+        slurm_joules=accounting.consumed_energy_joules,
+    )

@@ -1,0 +1,328 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Every paper artifact is reachable from the shell:
+
+* ``table1`` — the configuration inventory;
+* ``fig1`` — PMT-vs-Slurm validation series;
+* ``fig2`` / ``fig3`` — device and per-function breakdowns;
+* ``fig4`` / ``fig5`` — the frequency-sweep EDP experiments;
+* ``report`` — one instrumented run with sacct + PMT reports
+  (optionally writing the raw measurement JSON);
+* ``tune`` — the dynamic per-function DVFS extension;
+* ``backends`` — the registered PMT backends.
+
+Reduced ``--steps`` make every command laptop-quick; the defaults match
+the paper's 100-step runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.analysis.breakdown import device_breakdown
+from repro.analysis.edp import normalized_edp_series
+from repro.analysis.validation import validate_pmt_against_slurm
+from repro.config import SYSTEMS, TEST_CASES, get_system
+from repro.errors import ReproError
+
+
+def _add_steps(parser: argparse.ArgumentParser, default: int = 100) -> None:
+    parser.add_argument(
+        "--steps",
+        type=int,
+        default=default,
+        help=f"time-steps per run (paper: 100; default {default})",
+    )
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    from repro.experiments import table1_text
+
+    print(table1_text())
+    return 0
+
+
+def _cmd_backends(args: argparse.Namespace) -> int:
+    import repro.pmt as pmt
+
+    for name in pmt.available_backends():
+        print(name)
+    return 0
+
+
+def _cmd_fig1(args: argparse.Namespace) -> int:
+    from repro.experiments.validation import figure1_series, figure1_table
+
+    all_series: dict[str, dict[float, float]] = {}
+    for name in args.systems:
+        system = get_system(name)
+        points = figure1_series(
+            system, tuple(args.cards), num_steps=args.steps
+        )
+        print(figure1_table(points))
+        print()
+        all_series[f"{name} PMT"] = {
+            float(p.num_cards): p.pmt_joules / 1e6 for p in points
+        }
+        all_series[f"{name} Slurm"] = {
+            float(p.num_cards): p.slurm_joules / 1e6 for p in points
+        }
+    if args.plot:
+        from repro.analysis.ascii_plot import line_chart
+
+        print(line_chart(all_series, y_label="energy [MJ] vs GPU cards"))
+    return 0
+
+
+def _cmd_fig2(args: argparse.Namespace) -> int:
+    from repro.experiments.breakdowns import figure2_breakdowns
+    from repro.units import joules_to_megajoules
+
+    cells = figure2_breakdowns(num_cards=args.cards, num_steps=args.steps)
+    header = f"{'Run':>16} {'Total [MJ]':>11} " + " ".join(
+        f"{k:>8}" for k in ("GPU", "CPU", "Memory", "Other")
+    )
+    print(header)
+    for cell in cells:
+        shares = cell.devices.shares
+        print(
+            f"{cell.label:>16} "
+            f"{joules_to_megajoules(cell.devices.total_joules):>11.2f} "
+            f"{shares['GPU']:>8.1%} {shares['CPU']:>8.1%} "
+            f"{shares.get('Memory', 0.0):>8.1%} {shares['Other']:>8.1%}"
+        )
+    if args.plot:
+        from repro.analysis.ascii_plot import share_bars
+
+        for cell in cells:
+            print(f"\n{cell.label}:")
+            print(share_bars(cell.devices.shares))
+    return 0
+
+
+def _cmd_fig3(args: argparse.Namespace) -> int:
+    from repro.experiments.breakdowns import figure3_breakdowns
+    from repro.units import joules_to_megajoules
+
+    cells = figure3_breakdowns(num_cards=args.cards, num_steps=args.steps)
+    for cell in cells:
+        total = sum(r.joules for r in cell.gpu_functions)
+        print(f"--- {cell.label} ---")
+        for row in cell.gpu_functions[: args.top]:
+            print(
+                f"  {row.function:>24} "
+                f"{joules_to_megajoules(row.joules):>8.3f} MJ "
+                f"{row.joules / total:>7.2%}"
+            )
+    return 0
+
+
+def _cmd_fig4(args: argparse.Namespace) -> int:
+    from repro.experiments.frequency import figure4_series
+
+    freqs = tuple(float(f) for f in args.freqs)
+    series = figure4_series(
+        cube_sides=tuple(args.sides), freqs_mhz=freqs, num_steps=args.steps
+    )
+    print("side^3  " + " ".join(f"{f:>7.0f}" for f in sorted(freqs, reverse=True)))
+    for side, norm in series.items():
+        print(
+            f"{side:>5}^3 "
+            + " ".join(f"{norm[f]:>7.3f}" for f in sorted(freqs, reverse=True))
+        )
+    if args.plot:
+        from repro.analysis.ascii_plot import line_chart
+
+        named = {f"{side}^3": norm for side, norm in series.items()}
+        print(line_chart(named, y_label="normalized EDP vs MHz"))
+    return 0
+
+
+def _cmd_fig5(args: argparse.Namespace) -> int:
+    from repro.experiments.frequency import figure5_series
+
+    freqs = tuple(float(f) for f in args.freqs)
+    series = figure5_series(freqs_mhz=freqs, num_steps=args.steps)
+    ordered = sorted(freqs, reverse=True)
+    print(f"{'Function':>24} " + " ".join(f"{f:>7.0f}" for f in ordered))
+    for fn, norm in series.items():
+        print(f"{fn:>24} " + " ".join(f"{norm[f]:>7.3f}" for f in ordered))
+    if args.plot:
+        from repro.analysis.ascii_plot import line_chart
+
+        shown = {
+            fn: norm
+            for fn, norm in series.items()
+            if fn in (
+                "MomentumEnergy", "IADVelocityDivCurl",
+                "DomainDecompAndSync", "Density",
+            )
+        }
+        print(line_chart(shown, y_label="normalized EDP vs MHz"))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments.runner import run_scaled_experiment
+    from repro.instrumentation import device_report, function_report
+    from repro.slurm import sacct_report
+
+    system = get_system(args.system)
+    test_case = TEST_CASES[args.case]
+    result = run_scaled_experiment(
+        system, test_case, args.cards, num_steps=args.steps
+    )
+    print(sacct_report([result.accounting]))
+    print()
+    print(device_report(result.run))
+    print()
+    print(function_report(result.run, "gpu"))
+    point = validate_pmt_against_slurm(result.run, result.accounting, args.cards)
+    print(f"\nPMT/Slurm = {point.ratio:.3f}")
+    if args.out:
+        result.run.write(args.out)
+        print(f"measurements written to {args.out}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro.analysis.compare import comparison_report
+    from repro.experiments.runner import run_scaled_experiment
+
+    case = TEST_CASES[args.case]
+    run_a = run_scaled_experiment(
+        get_system(args.system_a), case, args.cards, num_steps=args.steps
+    ).run
+    run_b = run_scaled_experiment(
+        get_system(args.system_b), case, args.cards, num_steps=args.steps
+    ).run
+    print(comparison_report(run_a, run_b, counter=args.counter))
+    return 0
+
+
+def _cmd_tune(args: argparse.Namespace) -> int:
+    from repro.config import MINIHPC, SUBSONIC_TURBULENCE
+    from repro.tuning import tune_per_function
+
+    report = tune_per_function(
+        MINIHPC,
+        SUBSONIC_TURBULENCE,
+        num_cards=2,
+        freqs_mhz=tuple(float(f) for f in args.freqs),
+        num_steps=args.steps,
+        particles_per_rank=float(args.side) ** 3,
+        objective=args.objective,
+        max_slowdown=args.max_slowdown,
+    )
+    print("per-function policy (MHz):")
+    for fn, freq in sorted(report.policy.table.items()):
+        print(f"  {fn:>24} -> {freq:.0f}")
+    dilation = report.dynamic_seconds / report.baseline_seconds
+    print(f"switches          : {report.switch_count}")
+    print(f"time dilation     : {dilation:.3f}x")
+    print(f"EDP vs baseline   : {report.edp_vs_baseline:.3f}")
+    print(f"EDP vs best static: {report.edp_vs_best_static:.3f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Application-level energy measurement for large-scale "
+            "simulations (SC-W 2023 reproduction)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table1", help="print the Table 1 inventory").set_defaults(
+        func=_cmd_table1
+    )
+    sub.add_parser("backends", help="list PMT backends").set_defaults(
+        func=_cmd_backends
+    )
+
+    p = sub.add_parser("fig1", help="PMT vs Slurm validation series")
+    p.add_argument("--plot", action="store_true", help="render an ASCII chart")
+    p.add_argument(
+        "--systems", nargs="+", default=["LUMI-G", "CSCS-A100"],
+        choices=sorted(SYSTEMS),
+    )
+    p.add_argument("--cards", nargs="+", type=int, default=[8, 16, 24, 32, 40, 48])
+    _add_steps(p)
+    p.set_defaults(func=_cmd_fig1)
+
+    p = sub.add_parser("fig2", help="device energy breakdown")
+    p.add_argument("--plot", action="store_true", help="render ASCII bars")
+    p.add_argument("--cards", type=int, default=48)
+    _add_steps(p)
+    p.set_defaults(func=_cmd_fig2)
+
+    p = sub.add_parser("fig3", help="per-function energy breakdown")
+    p.add_argument("--cards", type=int, default=48)
+    p.add_argument("--top", type=int, default=6)
+    _add_steps(p)
+    p.set_defaults(func=_cmd_fig3)
+
+    p = sub.add_parser("fig4", help="EDP vs frequency per problem size")
+    p.add_argument("--plot", action="store_true", help="render an ASCII chart")
+    p.add_argument("--sides", nargs="+", type=int, default=[200, 300, 450])
+    p.add_argument("--freqs", nargs="+", default=[1410, 1230, 1005])
+    _add_steps(p)
+    p.set_defaults(func=_cmd_fig4)
+
+    p = sub.add_parser("fig5", help="per-function EDP vs frequency")
+    p.add_argument("--plot", action="store_true", help="render an ASCII chart")
+    p.add_argument("--freqs", nargs="+", default=[1410, 1230, 1005])
+    _add_steps(p)
+    p.set_defaults(func=_cmd_fig5)
+
+    p = sub.add_parser("report", help="one instrumented run, full reports")
+    p.add_argument("--system", default="CSCS-A100", choices=sorted(SYSTEMS))
+    p.add_argument(
+        "--case", default="Subsonic Turbulence", choices=sorted(TEST_CASES)
+    )
+    p.add_argument("--cards", type=int, default=8)
+    p.add_argument("--out", default=None, help="write measurement JSON here")
+    _add_steps(p)
+    p.set_defaults(func=_cmd_report)
+
+    p = sub.add_parser(
+        "compare", help="A/B per-function comparison between two systems"
+    )
+    p.add_argument("--system-a", default="CSCS-A100", choices=sorted(SYSTEMS))
+    p.add_argument("--system-b", default="LUMI-G", choices=sorted(SYSTEMS))
+    p.add_argument(
+        "--case", default="Subsonic Turbulence", choices=sorted(TEST_CASES)
+    )
+    p.add_argument("--cards", type=int, default=8)
+    p.add_argument("--counter", default="gpu", choices=["gpu", "cpu", "node"])
+    _add_steps(p)
+    p.set_defaults(func=_cmd_compare)
+
+    p = sub.add_parser("tune", help="dynamic per-function DVFS (extension)")
+    p.add_argument("--freqs", nargs="+", default=[1410, 1230, 1005])
+    p.add_argument("--side", type=int, default=450)
+    p.add_argument("--objective", default="edp", choices=["edp", "energy"])
+    p.add_argument("--max-slowdown", type=float, default=None)
+    _add_steps(p, default=40)
+    p.set_defaults(func=_cmd_tune)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,55 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ClockError(ReproError):
+    """Raised when simulated time would move backwards or is otherwise invalid."""
+
+
+class HardwareError(ReproError):
+    """Raised for invalid hardware configuration or device operations."""
+
+
+class DvfsError(HardwareError):
+    """Raised when an unsupported frequency is requested on a device."""
+
+
+class SensorError(ReproError):
+    """Raised when a sensor read fails or a sensor path does not exist."""
+
+
+class BackendError(ReproError):
+    """Raised when a PMT backend cannot be created or used on a platform."""
+
+
+class MeasurementError(ReproError):
+    """Raised for invalid measurement usage (e.g. stop() before start())."""
+
+
+class SchedulerError(ReproError):
+    """Raised by the simulated Slurm scheduler for invalid job operations."""
+
+
+class CommunicatorError(ReproError):
+    """Raised by the simulated MPI communicator for invalid collective usage."""
+
+
+class SimulationError(ReproError):
+    """Raised by the SPH framework for invalid simulation states."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when a system or experiment configuration is inconsistent."""
+
+
+class AnalysisError(ReproError):
+    """Raised by the analysis layer for inconsistent measurement records."""

@@ -1,0 +1,18 @@
+"""Experiment runners reproducing every table and figure of the paper."""
+
+from repro.experiments.runner import ExperimentResult, run_scaled_experiment
+from repro.experiments.validation import figure1_series
+from repro.experiments.breakdowns import figure2_breakdowns, figure3_breakdowns
+from repro.experiments.frequency import figure4_series, figure5_series
+from repro.experiments.tables import table1_text
+
+__all__ = [
+    "ExperimentResult",
+    "run_scaled_experiment",
+    "figure1_series",
+    "figure2_breakdowns",
+    "figure3_breakdowns",
+    "figure4_series",
+    "figure5_series",
+    "table1_text",
+]

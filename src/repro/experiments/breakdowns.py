@@ -1,0 +1,99 @@
+"""Figures 2 and 3: device and per-function energy breakdowns.
+
+The paper's breakdown runs are the largest Figure 1 configurations: 48
+cards per system (96 GCD ranks on LUMI-G, 48 ranks on CSCS-A100), 100
+steps, Subsonic Turbulence at 150 M and Evrard Collapse at 80 M particles
+per rank.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.breakdown import (
+    DeviceBreakdown,
+    FunctionRow,
+    device_breakdown,
+    function_breakdown,
+)
+from repro.config import (
+    CSCS_A100,
+    EVRARD_COLLAPSE,
+    LUMI_G,
+    SUBSONIC_TURBULENCE,
+    SystemConfig,
+    TestCaseConfig,
+)
+from repro.experiments.runner import ExperimentResult, run_scaled_experiment
+
+#: The four (system, test case) cells of Figures 2/3.
+FIGURE2_CELLS: tuple[tuple[SystemConfig, TestCaseConfig], ...] = (
+    (LUMI_G, SUBSONIC_TURBULENCE),
+    (LUMI_G, EVRARD_COLLAPSE),
+    (CSCS_A100, SUBSONIC_TURBULENCE),
+    (CSCS_A100, EVRARD_COLLAPSE),
+)
+
+#: Figure 2/3 runs use the largest Figure 1 scale.
+FIGURE2_CARDS = 48
+
+
+@dataclass(frozen=True)
+class BreakdownCell:
+    """One (system, test case) breakdown result."""
+
+    system: SystemConfig
+    test_case: TestCaseConfig
+    result: ExperimentResult
+    devices: DeviceBreakdown
+    gpu_functions: list[FunctionRow]
+    cpu_functions: list[FunctionRow]
+
+    @property
+    def label(self) -> str:
+        """Short cell label, e.g. ``LUMI-Turb``."""
+        case = "Turb" if self.test_case is SUBSONIC_TURBULENCE else "Evr"
+        system = "LUMI" if self.system is LUMI_G else "CSCS-A100"
+        return f"{system}-{case}"
+
+
+def run_breakdown_cell(
+    system: SystemConfig,
+    test_case: TestCaseConfig,
+    num_cards: int = FIGURE2_CARDS,
+    num_steps: int | None = None,
+    seed: int = 0,
+) -> BreakdownCell:
+    """Run one breakdown cell and compute its Figure 2/3 views."""
+    result = run_scaled_experiment(
+        system, test_case, num_cards, num_steps=num_steps, seed=seed
+    )
+    return BreakdownCell(
+        system=system,
+        test_case=test_case,
+        result=result,
+        devices=device_breakdown(result.run),
+        gpu_functions=function_breakdown(result.run, "gpu"),
+        cpu_functions=function_breakdown(result.run, "cpu"),
+    )
+
+
+def figure2_breakdowns(
+    num_cards: int = FIGURE2_CARDS,
+    num_steps: int | None = None,
+    seed: int = 0,
+) -> list[BreakdownCell]:
+    """All four Figure 2 cells."""
+    return [
+        run_breakdown_cell(system, case, num_cards, num_steps, seed)
+        for system, case in FIGURE2_CELLS
+    ]
+
+
+def figure3_breakdowns(
+    num_cards: int = FIGURE2_CARDS,
+    num_steps: int | None = None,
+    seed: int = 0,
+) -> list[BreakdownCell]:
+    """Figure 3 uses the same runs as Figure 2."""
+    return figure2_breakdowns(num_cards, num_steps, seed)

@@ -1,0 +1,97 @@
+"""Figures 4 and 5: the effect of GPU frequency down-scaling on EDP.
+
+Run on miniHPC (the only Table 1 system that lets users set GPU
+frequencies), Subsonic Turbulence, 91 M particles per GPU (450^3) down to
+8 M (200^3), sweeping the compute clock from 1410 MHz to 1005 MHz.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.edp import function_edp, normalized_edp_series, run_edp
+from repro.config import (
+    A100_SWEEP_FREQS_MHZ,
+    MINIHPC,
+    SUBSONIC_TURBULENCE,
+    SystemConfig,
+    TestCaseConfig,
+)
+from repro.experiments.runner import run_scaled_experiment
+
+#: Particle counts per GPU of Figure 4 (cube sides 200..450).
+FIGURE4_CUBE_SIDES = (200, 250, 300, 350, 400, 450)
+
+#: Baseline compute frequency (MHz) the EDPs are normalized to.
+BASELINE_MHZ = 1410.0
+
+
+def particles_of_side(side: int) -> float:
+    """Particles per GPU for a ``side^3`` cube."""
+    return float(side) ** 3
+
+
+def figure4_series(
+    cube_sides: tuple[int, ...] = FIGURE4_CUBE_SIDES,
+    freqs_mhz: tuple[float, ...] = tuple(float(f) for f in A100_SWEEP_FREQS_MHZ),
+    system: SystemConfig = MINIHPC,
+    test_case: TestCaseConfig = SUBSONIC_TURBULENCE,
+    num_steps: int | None = None,
+    seed: int = 0,
+) -> dict[int, dict[float, float]]:
+    """Normalized whole-run EDP per cube side per frequency.
+
+    Returns ``{side: {MHz: EDP / EDP(1410 MHz)}}``.
+    """
+    out: dict[int, dict[float, float]] = {}
+    for side in cube_sides:
+        by_freq: dict[float, float] = {}
+        for freq in freqs_mhz:
+            result = run_scaled_experiment(
+                system,
+                test_case,
+                num_cards=system.cards_per_node,
+                gpu_freq_mhz=freq,
+                num_steps=num_steps,
+                particles_per_rank=particles_of_side(side),
+                seed=seed,
+            )
+            by_freq[freq] = run_edp(result.run)
+        out[side] = normalized_edp_series(by_freq, BASELINE_MHZ)
+    return out
+
+
+def figure5_series(
+    freqs_mhz: tuple[float, ...] = tuple(float(f) for f in A100_SWEEP_FREQS_MHZ),
+    system: SystemConfig = MINIHPC,
+    test_case: TestCaseConfig = SUBSONIC_TURBULENCE,
+    cube_side: int = 450,
+    num_steps: int | None = None,
+    seed: int = 0,
+) -> dict[str, dict[float, float]]:
+    """Normalized per-function EDP at 450^3 particles per GPU.
+
+    Returns ``{function: {MHz: EDP / EDP(1410 MHz)}}``.
+    """
+    per_freq: dict[float, dict[str, float]] = {}
+    for freq in freqs_mhz:
+        result = run_scaled_experiment(
+            system,
+            test_case,
+            num_cards=system.cards_per_node,
+            gpu_freq_mhz=freq,
+            num_steps=num_steps,
+            particles_per_rank=particles_of_side(cube_side),
+            seed=seed,
+        )
+        per_freq[freq] = function_edp(result.run)
+
+    functions = per_freq[freqs_mhz[0]].keys()
+    out: dict[str, dict[float, float]] = {}
+    for fn in functions:
+        series = {freq: per_freq[freq][fn] for freq in freqs_mhz}
+        if series[BASELINE_MHZ] <= 0:
+            # Sub-resolution functions (sensor quantization reports zero
+            # energy in short runs) cannot be normalized; skip them, as
+            # the paper's Figure 5 plots only the time-consuming ones.
+            continue
+        out[fn] = normalized_edp_series(series, BASELINE_MHZ)
+    return out

@@ -1,0 +1,153 @@
+"""One-stop experiment runner: cluster + Slurm + instrumented scaled run.
+
+Assembles the full stack for one job — simulated cluster of the requested
+size, per-node telemetry, rank placement, Slurm controller with energy
+accounting, PMT profiler, performance model — runs the instrumented
+application inside the Slurm job lifecycle, and returns both views of the
+energy (Slurm accounting and PMT measurements).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import SystemConfig, TestCaseConfig
+from repro.hardware.cluster import Cluster
+from repro.hardware.clock import VirtualClock
+from repro.instrumentation.profiler import EnergyProfiler
+from repro.instrumentation.records import RunMeasurements
+from repro.mpi.costmodel import CommCostModel
+from repro.mpi.engine import SpmdEngine
+from repro.mpi.mapping import RankPlacement
+from repro.sensors.telemetry import NodeTelemetry
+from repro.slurm.job import JobAccounting, JobDescriptor
+from repro.slurm.scheduler import SlurmController
+from repro.sph.perfmodel import SphPerformanceModel
+from repro.sph.propagator import GRAVITY_FUNCTIONS, TURBULENCE_FUNCTIONS
+from repro.sph.scaled import ScaledSphApplication
+from repro.units import mhz
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """Everything one experiment produced."""
+
+    system: SystemConfig
+    test_case: TestCaseConfig
+    num_cards: int
+    gpu_freq_mhz: float
+    accounting: JobAccounting
+    run: RunMeasurements
+    #: Per-node PMT samplers (power profiles), when sampling was requested.
+    power_samplers: tuple = ()
+
+
+def functions_for(test_case: TestCaseConfig) -> tuple[str, ...]:
+    """The propagator function sequence of a test case."""
+    if test_case.has_gravity:
+        return GRAVITY_FUNCTIONS
+    if test_case.has_driving:
+        return TURBULENCE_FUNCTIONS
+    from repro.sph.propagator import HYDRO_FUNCTIONS
+
+    return HYDRO_FUNCTIONS
+
+
+def _node_meter(telemetry):
+    """A whole-node PMT meter: cray where available, else a composite of
+    the NVML devices plus the RAPL package."""
+    import repro.pmt as pmt
+
+    if telemetry.pm_counters is not None:
+        return pmt.create("cray", telemetry=telemetry)
+    children = {
+        f"gpu{i}": pmt.create("nvml", telemetry=telemetry, device_index=i)
+        for i in range(len(telemetry.nvml))
+    }
+    children["cpu"] = pmt.create("rapl", telemetry=telemetry)
+    return pmt.create("composite", meters=children)
+
+
+def run_scaled_experiment(
+    system: SystemConfig,
+    test_case: TestCaseConfig,
+    num_cards: int,
+    gpu_freq_mhz: float | None = None,
+    num_steps: int | None = None,
+    particles_per_rank: float | None = None,
+    seed: int = 0,
+    privileged_dvfs: bool = False,
+    power_sample_interval_s: float | None = None,
+) -> ExperimentResult:
+    """Run one paper-scale instrumented job.
+
+    ``gpu_freq_mhz`` requests a frequency change before the run; on
+    systems whose GPU frequency is not user controllable this raises
+    (as on the real LUMI-G / CSCS-A100) unless ``privileged_dvfs`` is set.
+    """
+    num_nodes = system.nodes_for_cards(num_cards)
+    clock = VirtualClock()
+    cluster = Cluster(
+        system.name.lower(), clock, system.node_spec, num_nodes, system.network
+    )
+    if gpu_freq_mhz is not None:
+        cluster.set_gpu_frequency(mhz(gpu_freq_mhz), privileged=privileged_dvfs)
+
+    telemetries = [
+        NodeTelemetry(node, system, clock, seed=seed + i)
+        for i, node in enumerate(cluster.nodes)
+    ]
+    placement = RankPlacement(cluster)
+    engine = SpmdEngine(placement)
+    cost_model = CommCostModel(system.network, placement)
+
+    n_per_rank = (
+        particles_per_rank
+        if particles_per_rank is not None
+        else test_case.particles_per_gpu
+    )
+    steps = num_steps if num_steps is not None else test_case.num_steps
+
+    perfmodel = SphPerformanceModel(cost_model, n_per_rank, seed=seed)
+    profiler = EnergyProfiler(placement, telemetries, system)
+    app = ScaledSphApplication(
+        engine=engine,
+        profiler=profiler,
+        perfmodel=perfmodel,
+        functions=functions_for(test_case),
+        num_steps=steps,
+        test_case_name=test_case.name,
+    )
+
+    samplers = ()
+    if power_sample_interval_s is not None:
+        from repro.pmt.sampler import PmtSampler
+
+        samplers = tuple(
+            PmtSampler(_node_meter(tel), interval_s=power_sample_interval_s)
+            for tel in telemetries
+        )
+        for sampler in samplers:
+            sampler.start()
+
+    controller = SlurmController(engine, telemetries, system)
+    job = JobDescriptor(
+        name=f"{test_case.name.replace(' ', '-').lower()}-{num_cards}c",
+        num_nodes=num_nodes,
+        particles_per_rank=n_per_rank,
+    )
+    accounting = controller.run_job(job, app.run)
+    run: RunMeasurements = accounting.app_result
+
+    for sampler in samplers:
+        sampler.stop()
+
+    return ExperimentResult(
+        system=system,
+        test_case=test_case,
+        num_cards=num_cards,
+        gpu_freq_mhz=run.gpu_freq_mhz,
+        accounting=accounting,
+        run=run,
+        power_samplers=samplers,
+    )

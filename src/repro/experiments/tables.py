@@ -1,0 +1,43 @@
+"""Table 1: simulation and computing-system parameters."""
+
+from __future__ import annotations
+
+from repro.config import SYSTEMS, TEST_CASES
+from repro.units import hz_to_mhz
+
+
+def table1_text() -> str:
+    """Render the Table 1 inventory from the live configuration objects."""
+    lines = ["Simulation Parameters", "====================="]
+    for case in TEST_CASES.values():
+        counts = "--".join(f"{b:g}" for b in case.global_particles_billions)
+        lines.append(
+            f"  {case.name}: {case.particles_per_gpu / 1e6:.0f} million "
+            f"particles per GPU, -n {counts} billion particles, "
+            f"-s {case.num_steps} time-steps"
+        )
+    lines += ["", "Hardware of each Node", "====================="]
+    for system in SYSTEMS.values():
+        spec = system.node_spec
+        lines.append(f"  {system.name}:")
+        lines.append(
+            f"    1x {spec.cpu.cores} cores {spec.cpu.model} CPU with "
+            f"{spec.memory.capacity_gib:.0f} GiB memory"
+        )
+        unit = "GPU half cards" if spec.gpu.gcds_per_card == 2 else "GPUs"
+        lines.append(
+            f"    {spec.num_gpu_units}x {spec.gpu.model} {unit} with "
+            f"{spec.gpu.memory_gib:.0f} GB memory"
+        )
+        lines.append(
+            f"    GPU compute frequency: "
+            f"{hz_to_mhz(spec.gpu.nominal_freq_hz):.0f} MHz, "
+            f"GPU memory frequency: "
+            f"{hz_to_mhz(spec.gpu.memory_freq_hz):.0f} MHz"
+        )
+        lines.append(
+            f"    PMT backend: {system.pmt_backend}, memory sensor: "
+            f"{'yes' if system.has_memory_sensor else 'no'}, user DVFS: "
+            f"{'yes' if spec.gpu_freq_user_controllable else 'no'}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,49 @@
+"""Figure 1: PMT-measured vs Slurm-reported energy across scales.
+
+Runs the Subsonic Turbulence workload with energy measurement enabled on
+8-to-48 GPU cards (one rank per GPU unit) and compares PMT's instrumented
+total against Slurm's ConsumedEnergy on each system.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.validation import ValidationPoint, validate_pmt_against_slurm
+from repro.config import SUBSONIC_TURBULENCE, SystemConfig, TestCaseConfig
+from repro.experiments.runner import run_scaled_experiment
+
+#: The card counts of Figure 1.
+FIGURE1_CARD_COUNTS = (8, 16, 24, 32, 40, 48)
+
+
+def figure1_series(
+    system: SystemConfig,
+    card_counts: tuple[int, ...] = FIGURE1_CARD_COUNTS,
+    test_case: TestCaseConfig = SUBSONIC_TURBULENCE,
+    num_steps: int | None = None,
+    seed: int = 0,
+) -> list[ValidationPoint]:
+    """One system's PMT-vs-Slurm series."""
+    points = []
+    for cards in card_counts:
+        result = run_scaled_experiment(
+            system, test_case, cards, num_steps=num_steps, seed=seed
+        )
+        points.append(
+            validate_pmt_against_slurm(result.run, result.accounting, cards)
+        )
+    return points
+
+
+def figure1_table(points: list[ValidationPoint]) -> str:
+    """Render a Figure 1 series as the text table the bench prints."""
+    lines = [
+        f"{'System':>10} {'Cards':>6} {'PMT [MJ]':>10} {'Slurm [MJ]':>11} "
+        f"{'PMT/Slurm':>10}",
+    ]
+    for p in points:
+        lines.append(
+            f"{p.system_name:>10} {p.num_cards:>6} "
+            f"{p.pmt_joules / 1e6:>10.3f} {p.slurm_joules / 1e6:>11.3f} "
+            f"{p.ratio:>10.3f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,46 @@
+"""Simulated CPU+GPU node hardware substrate.
+
+This package models the hardware the paper measures on: compute devices with
+piecewise-constant power draw over a shared virtual clock, DVFS frequency
+domains, and node/cluster assemblies matching the LUMI-G, CSCS-A100 and
+miniHPC systems from Table 1 of the paper.
+
+The substrate provides *ground-truth* power and energy; the sensor layer
+(:mod:`repro.sensors`) observes it imperfectly (sampling cadence,
+quantization, per-card rather than per-GCD attribution), which is exactly
+the measurement problem the paper's methodology has to work around.
+"""
+
+from repro.hardware.clock import VirtualClock
+from repro.hardware.trace import PowerTrace, SummedPowerTrace
+from repro.hardware.power_model import PowerModel
+from repro.hardware.specs import CpuSpec, GpuSpec, MemorySpec, NicSpec
+from repro.hardware.dvfs import FrequencyDomain
+from repro.hardware.device import Device
+from repro.hardware.cpu import CpuDevice
+from repro.hardware.gpu import GpuDevice, GpuCard
+from repro.hardware.memory import MemoryDevice
+from repro.hardware.nic import NicDevice
+from repro.hardware.node import Node
+from repro.hardware.cluster import Cluster, NetworkModel
+
+__all__ = [
+    "VirtualClock",
+    "PowerTrace",
+    "SummedPowerTrace",
+    "PowerModel",
+    "CpuSpec",
+    "GpuSpec",
+    "MemorySpec",
+    "NicSpec",
+    "FrequencyDomain",
+    "Device",
+    "CpuDevice",
+    "GpuDevice",
+    "GpuCard",
+    "MemoryDevice",
+    "NicDevice",
+    "Node",
+    "Cluster",
+    "NetworkModel",
+]

@@ -1,0 +1,67 @@
+"""Virtual simulation clock.
+
+All hardware, sensors, the Slurm scheduler and the MPI runtime share one
+:class:`VirtualClock`.  Time only moves forward and only when the simulation
+driver advances it; this makes every experiment fully deterministic and
+independent of wall-clock time.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import ClockError
+
+
+class VirtualClock:
+    """A monotonically non-decreasing simulated clock.
+
+    Parameters
+    ----------
+    start:
+        Initial simulated time in seconds (default ``0.0``).
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0:
+            raise ClockError(f"clock cannot start at negative time {start!r}")
+        self._now = float(start)
+        self._listeners: list[Callable[[float], None]] = []
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def advance(self, dt: float) -> float:
+        """Advance the clock by ``dt`` seconds and return the new time.
+
+        ``dt`` must be non-negative; a zero advance is allowed (it is used
+        for instantaneous events such as back-to-back sensor reads).
+        """
+        if dt < 0:
+            raise ClockError(f"cannot advance clock by negative dt {dt!r}")
+        if dt > 0:
+            self._now += dt
+            for listener in self._listeners:
+                listener(self._now)
+        return self._now
+
+    def advance_to(self, t: float) -> float:
+        """Advance the clock to absolute time ``t`` (must be >= now)."""
+        if t < self._now:
+            raise ClockError(
+                f"cannot move clock backwards from {self._now!r} to {t!r}"
+            )
+        return self.advance(t - self._now)
+
+    def on_advance(self, listener: Callable[[float], None]) -> None:
+        """Register a callback invoked with the new time after each advance.
+
+        Used by free-running samplers (e.g. the Slurm energy plugin) that
+        must take periodic readings regardless of who advances time.
+        """
+        self._listeners.append(listener)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"VirtualClock(now={self._now:.6f})"

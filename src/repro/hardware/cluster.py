@@ -1,0 +1,106 @@
+"""Cluster: a set of identical nodes plus an interconnect model.
+
+The interconnect model is deliberately simple (per-message latency plus
+bandwidth term, with an effective bisection factor for collectives); it is
+consumed by the simulated MPI layer to cost halo exchanges and the
+domain-synchronisation collectives that dominate
+``DomainDecompAndSync``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import HardwareError
+from repro.hardware.clock import VirtualClock
+from repro.hardware.node import Node, NodeSpec
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """Latency/bandwidth interconnect model.
+
+    Parameters
+    ----------
+    latency_s:
+        Per-message one-way latency in seconds.
+    bandwidth_bytes_per_s:
+        Per-link bandwidth in bytes/s.
+    intra_node_factor:
+        Speedup factor for messages that stay inside a node (NVLink /
+        Infinity Fabric vs. the fabric NIC).
+    """
+
+    latency_s: float
+    bandwidth_bytes_per_s: float
+    intra_node_factor: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.latency_s < 0:
+            raise HardwareError("network latency must be >= 0")
+        if self.bandwidth_bytes_per_s <= 0:
+            raise HardwareError("network bandwidth must be positive")
+        if self.intra_node_factor < 1:
+            raise HardwareError("intra-node factor must be >= 1")
+
+    def transfer_time(self, nbytes: float, intra_node: bool = False) -> float:
+        """Time to move ``nbytes`` point-to-point."""
+        if nbytes < 0:
+            raise ValueError("cannot transfer a negative number of bytes")
+        bw = self.bandwidth_bytes_per_s
+        lat = self.latency_s
+        if intra_node:
+            bw *= self.intra_node_factor
+            lat /= self.intra_node_factor
+        return lat + nbytes / bw
+
+
+class Cluster:
+    """A homogeneous set of nodes sharing one clock and one interconnect."""
+
+    def __init__(
+        self,
+        name: str,
+        clock: VirtualClock,
+        node_spec: NodeSpec,
+        num_nodes: int,
+        network: NetworkModel,
+    ) -> None:
+        if num_nodes <= 0:
+            raise HardwareError("a cluster needs at least one node")
+        self.name = name
+        self.clock = clock
+        self.network = network
+        self.node_spec = node_spec
+        self.nodes: list[Node] = [
+            Node(f"{name}.node{i}", clock, node_spec) for i in range(num_nodes)
+        ]
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes in the cluster."""
+        return len(self.nodes)
+
+    @property
+    def total_gpu_units(self) -> int:
+        """Total schedulable GPU units across the cluster."""
+        return sum(n.num_gpu_units for n in self.nodes)
+
+    @property
+    def total_cards(self) -> int:
+        """Total physical GPU cards across the cluster."""
+        return sum(n.num_cards for n in self.nodes)
+
+    def set_gpu_frequency(self, freq_hz: float, privileged: bool = False) -> None:
+        """Set the GPU compute frequency cluster-wide."""
+        for node in self.nodes:
+            node.set_gpu_frequency(freq_hz, privileged=privileged)
+
+    def all_idle(self) -> None:
+        """Idle every device on every node."""
+        for node in self.nodes:
+            node.all_idle()
+
+    def energy_between(self, t0: float, t1: float) -> float:
+        """Ground-truth cluster energy over ``[t0, t1]``."""
+        return sum(n.energy_between(t0, t1) for n in self.nodes)

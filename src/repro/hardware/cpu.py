@@ -1,0 +1,27 @@
+"""CPU socket device."""
+
+from __future__ import annotations
+
+from repro.hardware.clock import VirtualClock
+from repro.hardware.device import Device
+from repro.hardware.dvfs import FrequencyDomain
+from repro.hardware.specs import CpuSpec
+
+
+class CpuDevice(Device):
+    """One CPU socket.
+
+    In the paper's GPU-centric setting the CPU mostly *drives* the GPUs
+    (kernel launches, MPI progress) and runs the measurement tooling, so
+    its utilization during GPU phases is low but nonzero.  CPU frequency
+    is fixed at nominal — the paper only scales GPU frequency.
+    """
+
+    def __init__(self, name: str, clock: VirtualClock, spec: CpuSpec) -> None:
+        self.spec = spec
+        domain = FrequencyDomain(
+            supported_hz=(spec.nominal_freq_hz,),
+            nominal_hz=spec.nominal_freq_hz,
+            user_controllable=False,
+        )
+        super().__init__(name, clock, spec.power_model, domain)

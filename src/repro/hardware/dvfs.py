@@ -1,0 +1,95 @@
+"""Dynamic voltage and frequency scaling (DVFS) domains.
+
+A :class:`FrequencyDomain` tracks the current frequency of a device and the
+discrete set of user-settable frequencies.  Section 3.2 of the paper notes
+that production systems (LUMI-G, CSCS-A100) do *not* allow user frequency
+control, while miniHPC does — the domain therefore carries a
+``user_controllable`` flag that the experiment runner honours.
+"""
+
+from __future__ import annotations
+
+from repro.errors import DvfsError
+
+
+class FrequencyDomain:
+    """The frequency state of one device.
+
+    Parameters
+    ----------
+    supported_hz:
+        Discrete settable frequencies (Hz), any order; stored sorted.
+    nominal_hz:
+        Default frequency; must be one of ``supported_hz``.
+    user_controllable:
+        Whether an unprivileged user may change the frequency (miniHPC
+        yes, LUMI-G / CSCS-A100 no).
+    """
+
+    def __init__(
+        self,
+        supported_hz: tuple[float, ...],
+        nominal_hz: float,
+        user_controllable: bool = True,
+    ) -> None:
+        if not supported_hz:
+            raise DvfsError("a frequency domain needs at least one frequency")
+        self._supported = tuple(sorted(set(float(f) for f in supported_hz)))
+        if float(nominal_hz) not in self._supported:
+            raise DvfsError(
+                f"nominal frequency {nominal_hz!r} not in supported set"
+            )
+        self._nominal = float(nominal_hz)
+        self._current = self._nominal
+        self.user_controllable = bool(user_controllable)
+
+    @property
+    def supported_hz(self) -> tuple[float, ...]:
+        """Sorted tuple of settable frequencies in Hz."""
+        return self._supported
+
+    @property
+    def nominal_hz(self) -> float:
+        """The nominal (default / boost-baseline) frequency in Hz."""
+        return self._nominal
+
+    @property
+    def current_hz(self) -> float:
+        """The currently applied frequency in Hz."""
+        return self._current
+
+    @property
+    def ratio(self) -> float:
+        """``current / nominal`` — the factor fed to the power model."""
+        return self._current / self._nominal
+
+    def set_frequency(self, freq_hz: float, privileged: bool = False) -> None:
+        """Set the frequency.
+
+        Raises
+        ------
+        DvfsError
+            If the frequency is unsupported, or if the domain is not user
+            controllable and ``privileged`` is False.
+        """
+        freq_hz = float(freq_hz)
+        if freq_hz not in self._supported:
+            raise DvfsError(
+                f"unsupported frequency {freq_hz!r} Hz; supported: {self._supported}"
+            )
+        if not self.user_controllable and not privileged:
+            raise DvfsError(
+                "frequency domain is not user controllable on this system"
+            )
+        self._current = freq_hz
+
+    def reset(self) -> None:
+        """Return to the nominal frequency (always allowed)."""
+        self._current = self._nominal
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"FrequencyDomain(current={self._current / 1e6:.0f} MHz, "
+            f"nominal={self._nominal / 1e6:.0f} MHz, "
+            f"user_controllable={self.user_controllable})"
+        )

@@ -1,0 +1,96 @@
+"""GPU devices and the GCD/card distinction.
+
+A :class:`GpuDevice` is the unit one MPI rank drives: a whole card on
+NVIDIA systems, a single GCD (GPU Complex Die) on AMD MI250X.  A
+:class:`GpuCard` groups the GCDs that share one physical card — and,
+crucially, one *power sensor*: HPE/Cray ``pm_counters`` report power per
+card, so on LUMI-G two ranks share a single reading.  This asymmetry is the
+root of the per-rank attribution inaccuracy the paper discusses (Sections 2
+and 3.1); the analysis layer must undo it with hardware-configuration
+knowledge.
+"""
+
+from __future__ import annotations
+
+from repro.errors import HardwareError
+from repro.hardware.clock import VirtualClock
+from repro.hardware.device import Device
+from repro.hardware.dvfs import FrequencyDomain
+from repro.hardware.specs import GpuSpec
+from repro.hardware.trace import SummedPowerTrace
+
+
+class GpuDevice(Device):
+    """One schedulable GPU unit (a card, or one GCD of a dual-GCD card)."""
+
+    def __init__(
+        self,
+        name: str,
+        clock: VirtualClock,
+        spec: GpuSpec,
+        user_controllable_freq: bool = True,
+    ) -> None:
+        self.spec = spec
+        domain = FrequencyDomain(
+            supported_hz=spec.supported_freqs_hz,
+            nominal_hz=spec.nominal_freq_hz,
+            user_controllable=user_controllable_freq,
+        )
+        super().__init__(name, clock, spec.power_model, domain)
+
+    def peak_flops_now(self) -> float:
+        """Peak FLOP rate at the current compute frequency."""
+        return self.spec.peak_flops_at(self.frequency.current_hz)
+
+    @property
+    def peak_bandwidth(self) -> float:
+        """Peak memory bandwidth in bytes/s (compute-frequency independent)."""
+        return self.spec.peak_bandwidth
+
+
+class GpuCard:
+    """A physical GPU card: the granularity of the power sensor.
+
+    Parameters
+    ----------
+    name:
+        Card identifier, e.g. ``"node0.card1"``.
+    gcds:
+        The 1 or 2 :class:`GpuDevice` units on this card.
+    card_overhead_watts:
+        Constant card-level draw not attributable to either GCD (HBM
+        standby, board logic).  Part of what makes per-GCD attribution
+        from a per-card sensor imperfect.
+    """
+
+    def __init__(
+        self, name: str, gcds: list[GpuDevice], card_overhead_watts: float = 0.0
+    ) -> None:
+        if not 1 <= len(gcds) <= 2:
+            raise HardwareError(
+                f"a GPU card holds 1 or 2 GCDs, got {len(gcds)}"
+            )
+        expected = gcds[0].spec.gcds_per_card
+        if len(gcds) != expected:
+            raise HardwareError(
+                f"spec {gcds[0].spec.model!r} expects {expected} GCD(s) per "
+                f"card, got {len(gcds)}"
+            )
+        self.name = name
+        self.gcds = list(gcds)
+        self.trace = SummedPowerTrace(
+            [g.trace for g in gcds], constant_watts=card_overhead_watts
+        )
+
+    @property
+    def num_gcds(self) -> int:
+        """Number of schedulable units on the card."""
+        return len(self.gcds)
+
+    def power_at(self, t: float) -> float:
+        """Ground-truth card power (what the per-card sensor measures)."""
+        return self.trace.power_at(t)
+
+    def energy_between(self, t0: float, t1: float) -> float:
+        """Ground-truth card energy over ``[t0, t1]``."""
+        return self.trace.energy_between(t0, t1)

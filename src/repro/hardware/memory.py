@@ -1,0 +1,26 @@
+"""Node DRAM subsystem device."""
+
+from __future__ import annotations
+
+from repro.hardware.clock import VirtualClock
+from repro.hardware.device import Device
+from repro.hardware.dvfs import FrequencyDomain
+from repro.hardware.specs import MemorySpec
+
+
+class MemoryDevice(Device):
+    """The node's DRAM subsystem as a single power-drawing device.
+
+    LUMI-G pm_counters expose a dedicated memory power file; CSCS-A100 does
+    not, which is why the paper's Figure 2 folds memory into "Other" on
+    that system.  The device exists on both systems — only its *sensor*
+    differs.
+    """
+
+    def __init__(self, name: str, clock: VirtualClock, spec: MemorySpec) -> None:
+        self.spec = spec
+        # DRAM has no user-facing DVFS in this model: single frequency.
+        domain = FrequencyDomain(
+            supported_hz=(1.0,), nominal_hz=1.0, user_controllable=False
+        )
+        super().__init__(name, clock, spec.power_model, domain)

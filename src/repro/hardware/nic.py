@@ -1,0 +1,29 @@
+"""Network interface device.
+
+The NIC contributes to the node's "Other" energy (the paper notes that the
+lack of a NIC sensor prevents attributing "Other" energy to communication —
+we model the NIC explicitly so the ablation benchmarks can quantify exactly
+what that missing sensor hides).
+"""
+
+from __future__ import annotations
+
+from repro.hardware.clock import VirtualClock
+from repro.hardware.device import Device
+from repro.hardware.dvfs import FrequencyDomain
+from repro.hardware.specs import NicSpec
+
+
+class NicDevice(Device):
+    """The node's network interface card."""
+
+    def __init__(self, name: str, clock: VirtualClock, spec: NicSpec) -> None:
+        self.spec = spec
+        domain = FrequencyDomain(
+            supported_hz=(1.0,), nominal_hz=1.0, user_controllable=False
+        )
+        super().__init__(name, clock, spec.power_model, domain)
+
+    def transfer_time(self, nbytes: float) -> float:
+        """Time to move ``nbytes`` through this NIC (latency + bandwidth)."""
+        return self.spec.latency_s + nbytes / self.spec.bandwidth_bytes_per_s

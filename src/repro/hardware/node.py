@@ -1,0 +1,141 @@
+"""Compute-node assembly.
+
+A :class:`Node` wires up one CPU socket, a set of GPU units grouped into
+cards, the DRAM subsystem, a NIC and an always-on auxiliary draw.  The node
+power trace is the sum of everything — it is what the node-level sensor
+(pm_counters ``power`` file / Slurm's accounting source) observes, and what
+the paper's "Other" category is computed against::
+
+    other = node - gpus - cpu - memory
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import HardwareError
+from repro.hardware.clock import VirtualClock
+from repro.hardware.cpu import CpuDevice
+from repro.hardware.gpu import GpuCard, GpuDevice
+from repro.hardware.memory import MemoryDevice
+from repro.hardware.nic import NicDevice
+from repro.hardware.specs import CpuSpec, GpuSpec, MemorySpec, NicSpec
+from repro.hardware.trace import SummedPowerTrace
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """Everything needed to build one node."""
+
+    cpu: CpuSpec
+    gpu: GpuSpec
+    num_gpu_units: int
+    memory: MemorySpec
+    nic: NicSpec
+    aux_watts: float
+    card_overhead_watts: float = 0.0
+    gpu_freq_user_controllable: bool = True
+
+    def __post_init__(self) -> None:
+        if self.num_gpu_units <= 0:
+            raise HardwareError("a node needs at least one GPU unit")
+        if self.num_gpu_units % self.gpu.gcds_per_card != 0:
+            raise HardwareError(
+                f"{self.num_gpu_units} GPU units do not form whole cards of "
+                f"{self.gpu.gcds_per_card} GCD(s)"
+            )
+        if self.aux_watts < 0 or self.card_overhead_watts < 0:
+            raise HardwareError("auxiliary powers must be >= 0")
+
+    @property
+    def num_cards(self) -> int:
+        """Number of physical GPU cards (the sensor granularity)."""
+        return self.num_gpu_units // self.gpu.gcds_per_card
+
+
+class Node:
+    """One compute node: CPU + GPUs + memory + NIC + auxiliary draw."""
+
+    def __init__(self, name: str, clock: VirtualClock, spec: NodeSpec) -> None:
+        self.name = name
+        self.clock = clock
+        self.spec = spec
+
+        self.cpu = CpuDevice(f"{name}.cpu", clock, spec.cpu)
+        self.gpus: list[GpuDevice] = [
+            GpuDevice(
+                f"{name}.gpu{i}",
+                clock,
+                spec.gpu,
+                user_controllable_freq=spec.gpu_freq_user_controllable,
+            )
+            for i in range(spec.num_gpu_units)
+        ]
+        per_card = spec.gpu.gcds_per_card
+        self.cards: list[GpuCard] = [
+            GpuCard(
+                f"{name}.card{c}",
+                self.gpus[c * per_card : (c + 1) * per_card],
+                card_overhead_watts=spec.card_overhead_watts,
+            )
+            for c in range(spec.num_cards)
+        ]
+        self.memory = MemoryDevice(f"{name}.mem", clock, spec.memory)
+        self.nic = NicDevice(f"{name}.nic", clock, spec.nic)
+
+        device_traces = [self.cpu.trace, self.memory.trace, self.nic.trace]
+        device_traces += [g.trace for g in self.gpus]
+        # Card overheads are part of the node draw but not of any GCD trace.
+        total_overhead = spec.card_overhead_watts * spec.num_cards
+        self.trace = SummedPowerTrace(
+            device_traces, constant_watts=spec.aux_watts + total_overhead
+        )
+
+    # -- convenience ---------------------------------------------------------
+
+    @property
+    def num_gpu_units(self) -> int:
+        """Number of schedulable GPU units (ranks the node can host)."""
+        return len(self.gpus)
+
+    @property
+    def num_cards(self) -> int:
+        """Number of physical GPU cards."""
+        return len(self.cards)
+
+    def card_of(self, gpu_index: int) -> GpuCard:
+        """The card holding GPU unit ``gpu_index``."""
+        return self.cards[gpu_index // self.spec.gpu.gcds_per_card]
+
+    def set_gpu_frequency(self, freq_hz: float, privileged: bool = False) -> None:
+        """Set the compute frequency of every GPU unit on the node."""
+        for gpu in self.gpus:
+            gpu.set_frequency(freq_hz, privileged=privileged)
+
+    def all_idle(self) -> None:
+        """Drop every device to idle at the current time."""
+        self.cpu.set_idle()
+        self.memory.set_idle()
+        self.nic.set_idle()
+        for gpu in self.gpus:
+            gpu.set_idle()
+
+    # -- ground-truth observation ---------------------------------------------
+
+    def power_at(self, t: float) -> float:
+        """Ground-truth node power at time ``t`` (all devices + aux)."""
+        return self.trace.power_at(t)
+
+    def energy_between(self, t0: float, t1: float) -> float:
+        """Ground-truth node energy over ``[t0, t1]``."""
+        return self.trace.energy_between(t0, t1)
+
+    def idle_power(self) -> float:
+        """Node power with every device idle at nominal frequency."""
+        idle = (
+            self.spec.cpu.power_model.idle_watts_nominal
+            + self.spec.memory.power_model.idle_watts_nominal
+            + self.spec.nic.power_model.idle_watts_nominal
+            + sum(g.power_model.idle_watts_nominal for g in self.gpus)
+        )
+        return idle + self.trace.constant_watts

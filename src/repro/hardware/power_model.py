@@ -1,0 +1,100 @@
+"""Analytic device power model.
+
+The model decomposes device power into four components::
+
+    P(f, u_c, u_m) = P_static
+                   + P_clock  * (f / f_nom)
+                   + P_comp   * u_c * (f / f_nom) ** alpha
+                   + P_mem    * u_m
+
+* ``P_static`` — leakage and always-on logic, frequency independent.
+* ``P_clock``  — clock-tree / idle-at-frequency power, linear in f.  This is
+  the component that makes GPU frequency down-scaling pay off even while the
+  GPU idles during communication phases (the Figure 5 DomainDecompAndSync
+  effect).
+* ``P_comp``   — dynamic compute power at full utilization and nominal
+  frequency, scaling as f^alpha (alpha ~ 2-3 captures voltage scaling along
+  the DVFS curve).
+* ``P_mem``    — memory-subsystem dynamic power, driven by bandwidth
+  utilization and (to first order) independent of *compute* frequency.
+
+The split between compute-frequency-sensitive and -insensitive components is
+what produces the paper's core Figure 4/5 shape: memory- and
+communication-bound phases keep their duration but shed power when the
+compute clock drops, so their EDP improves, while compute-bound kernels
+stretch in time and improve little or not at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import HardwareError
+
+
+@dataclass(frozen=True)
+class PowerModel:
+    """Parameters of the analytic power model (see module docstring)."""
+
+    static_watts: float
+    clock_watts: float
+    compute_watts: float
+    memory_watts: float
+    alpha: float = 2.4
+
+    def __post_init__(self) -> None:
+        for field in ("static_watts", "clock_watts", "compute_watts", "memory_watts"):
+            value = getattr(self, field)
+            if value < 0:
+                raise HardwareError(f"power model {field} must be >= 0, got {value!r}")
+        if self.alpha < 1.0:
+            raise HardwareError(f"power model alpha must be >= 1, got {self.alpha!r}")
+
+    @property
+    def idle_watts_nominal(self) -> float:
+        """Idle power at nominal frequency (u_c = u_m = 0, f = f_nom)."""
+        return self.static_watts + self.clock_watts
+
+    @property
+    def peak_watts_nominal(self) -> float:
+        """Peak power at nominal frequency (u_c = u_m = 1, f = f_nom)."""
+        return (
+            self.static_watts
+            + self.clock_watts
+            + self.compute_watts
+            + self.memory_watts
+        )
+
+    def power(
+        self,
+        freq_ratio: float,
+        compute_utilization: float,
+        memory_utilization: float,
+    ) -> float:
+        """Instantaneous power in watts.
+
+        Parameters
+        ----------
+        freq_ratio:
+            Current frequency divided by nominal frequency (``f / f_nom``).
+        compute_utilization:
+            Fraction of peak compute issue rate in use, in [0, 1].
+        memory_utilization:
+            Fraction of peak memory bandwidth in use, in [0, 1].
+        """
+        if freq_ratio <= 0:
+            raise HardwareError(f"freq_ratio must be > 0, got {freq_ratio!r}")
+        u_c = _clamp_utilization(compute_utilization, "compute")
+        u_m = _clamp_utilization(memory_utilization, "memory")
+        return (
+            self.static_watts
+            + self.clock_watts * freq_ratio
+            + self.compute_watts * u_c * freq_ratio**self.alpha
+            + self.memory_watts * u_m
+        )
+
+
+def _clamp_utilization(u: float, kind: str) -> float:
+    if not 0.0 <= u <= 1.0 + 1e-9:
+        raise HardwareError(f"{kind} utilization must be in [0, 1], got {u!r}")
+    return min(u, 1.0)

@@ -1,0 +1,104 @@
+"""Device specification records.
+
+Specs combine a performance envelope (peak FLOP rate, memory bandwidth)
+with a :class:`~repro.hardware.power_model.PowerModel`.  The performance
+side feeds the SPH roofline performance model; the power side feeds the
+power traces that sensors observe.
+
+Numbers for the concrete devices (MI250X GCD, A100-SXM4, A100-PCIE, EPYC,
+Xeon) live in :mod:`repro.config`; this module only defines the shapes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import HardwareError
+from repro.hardware.power_model import PowerModel
+
+
+@dataclass(frozen=True)
+class GpuSpec:
+    """Specification of one schedulable GPU unit.
+
+    For NVIDIA cards this is the whole card; for AMD MI250X it is one GCD
+    (GPU Complex Die) — the unit one MPI rank drives.  ``gcds_per_card``
+    records how many of these units share one *power sensor* (pm_counters
+    reports per card), which is the source of the LUMI-G attribution
+    inaccuracy discussed in Sections 2 and 3.1 of the paper.
+    """
+
+    model: str
+    memory_gib: float
+    nominal_freq_hz: float
+    memory_freq_hz: float
+    supported_freqs_hz: tuple[float, ...]
+    peak_flops: float
+    peak_bandwidth: float
+    power_model: PowerModel
+    gcds_per_card: int = 1
+    vendor: str = "generic"
+
+    def __post_init__(self) -> None:
+        if self.nominal_freq_hz <= 0:
+            raise HardwareError("GPU nominal frequency must be positive")
+        if self.peak_flops <= 0 or self.peak_bandwidth <= 0:
+            raise HardwareError("GPU peak rates must be positive")
+        if self.gcds_per_card not in (1, 2):
+            raise HardwareError(
+                f"gcds_per_card must be 1 or 2, got {self.gcds_per_card!r}"
+            )
+        if self.nominal_freq_hz not in self.supported_freqs_hz:
+            raise HardwareError(
+                "nominal frequency must be among supported frequencies"
+            )
+
+    def peak_flops_at(self, freq_hz: float) -> float:
+        """Peak FLOP rate at compute frequency ``freq_hz`` (linear scaling)."""
+        return self.peak_flops * (freq_hz / self.nominal_freq_hz)
+
+
+@dataclass(frozen=True)
+class CpuSpec:
+    """Specification of one CPU socket."""
+
+    model: str
+    cores: int
+    nominal_freq_hz: float
+    peak_flops: float
+    power_model: PowerModel
+
+    def __post_init__(self) -> None:
+        if self.cores <= 0:
+            raise HardwareError("CPU core count must be positive")
+        if self.nominal_freq_hz <= 0:
+            raise HardwareError("CPU nominal frequency must be positive")
+
+
+@dataclass(frozen=True)
+class MemorySpec:
+    """Specification of the node DRAM subsystem."""
+
+    capacity_gib: float
+    peak_bandwidth: float
+    power_model: PowerModel
+
+    def __post_init__(self) -> None:
+        if self.capacity_gib <= 0:
+            raise HardwareError("memory capacity must be positive")
+
+
+@dataclass(frozen=True)
+class NicSpec:
+    """Specification of the network interface."""
+
+    model: str
+    bandwidth_bytes_per_s: float
+    latency_s: float
+    power_model: PowerModel
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_bytes_per_s <= 0:
+            raise HardwareError("NIC bandwidth must be positive")
+        if self.latency_s < 0:
+            raise HardwareError("NIC latency must be >= 0")

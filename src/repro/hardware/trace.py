@@ -1,0 +1,184 @@
+"""Piecewise-constant power traces with exact energy integration.
+
+A :class:`PowerTrace` is the ground-truth power timeline of one device: a
+sequence of ``(time, watts)`` breakpoints where the power holds the given
+value from each breakpoint until the next.  Energy between two times is the
+exact integral of this step function — sensors later *approximate* this
+integral with their own cadence and quantization.
+
+Traces are append-only (time moves forward) and integration is vectorized:
+breakpoints are kept in growable NumPy buffers and a cumulative-energy
+prefix array is cached and invalidated on append, so repeated queries over
+long runs stay O(log n).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ClockError
+
+
+class PowerTrace:
+    """Append-only piecewise-constant power timeline.
+
+    Parameters
+    ----------
+    initial_watts:
+        Power level from time 0 until the first explicit breakpoint.
+    """
+
+    _INITIAL_CAPACITY = 256
+
+    def __init__(self, initial_watts: float = 0.0) -> None:
+        self._times = np.zeros(self._INITIAL_CAPACITY, dtype=np.float64)
+        self._watts = np.zeros(self._INITIAL_CAPACITY, dtype=np.float64)
+        self._watts[0] = float(initial_watts)
+        self._n = 1
+        self._cum_energy: np.ndarray | None = None
+
+    # -- recording ----------------------------------------------------------
+
+    def set_power(self, t: float, watts: float) -> None:
+        """Record that power becomes ``watts`` at time ``t``.
+
+        ``t`` must be >= the last breakpoint time.  Setting the same power
+        again is a no-op; setting a different power at exactly the last
+        breakpoint time overwrites it (zero-length segments are elided).
+        """
+        if watts < 0:
+            raise ValueError(f"negative power {watts!r} W")
+        last_t = self._times[self._n - 1]
+        if t < last_t:
+            raise ClockError(
+                f"trace breakpoint at t={t!r} precedes last breakpoint {last_t!r}"
+            )
+        last_w = self._watts[self._n - 1]
+        if watts == last_w:
+            return
+        if t == last_t:
+            # Overwrite the zero-length segment in place.
+            self._watts[self._n - 1] = watts
+            # If the overwrite makes it equal to the previous segment, merge.
+            if self._n >= 2 and self._watts[self._n - 2] == watts:
+                self._n -= 1
+            self._cum_energy = None
+            return
+        if self._n == len(self._times):
+            self._grow()
+        self._times[self._n] = t
+        self._watts[self._n] = watts
+        self._n += 1
+        self._cum_energy = None
+
+    def _grow(self) -> None:
+        new_cap = len(self._times) * 2
+        times = np.zeros(new_cap, dtype=np.float64)
+        watts = np.zeros(new_cap, dtype=np.float64)
+        times[: self._n] = self._times[: self._n]
+        watts[: self._n] = self._watts[: self._n]
+        self._times = times
+        self._watts = watts
+
+    # -- queries ------------------------------------------------------------
+
+    @property
+    def num_breakpoints(self) -> int:
+        """Number of stored breakpoints (>= 1)."""
+        return self._n
+
+    @property
+    def last_time(self) -> float:
+        """Time of the most recent breakpoint."""
+        return float(self._times[self._n - 1])
+
+    def power_at(self, t: float) -> float:
+        """Instantaneous power in watts at time ``t``.
+
+        Times before 0 use the initial level; times after the last
+        breakpoint hold the last level (the device keeps drawing it).
+        """
+        idx = int(np.searchsorted(self._times[: self._n], t, side="right")) - 1
+        idx = max(idx, 0)
+        return float(self._watts[idx])
+
+    def _cumulative(self) -> np.ndarray:
+        """Cumulative energy (J) consumed up to each breakpoint time."""
+        if self._cum_energy is None or len(self._cum_energy) != self._n:
+            t = self._times[: self._n]
+            w = self._watts[: self._n]
+            cum = np.zeros(self._n, dtype=np.float64)
+            if self._n > 1:
+                np.cumsum(w[:-1] * np.diff(t), out=cum[1:])
+            self._cum_energy = cum
+        return self._cum_energy
+
+    def energy_until(self, t: float) -> float:
+        """Exact energy in joules consumed on ``[0, t]``."""
+        if t <= 0:
+            return 0.0
+        times = self._times[: self._n]
+        cum = self._cumulative()
+        idx = int(np.searchsorted(times, t, side="right")) - 1
+        idx = max(idx, 0)
+        return float(cum[idx] + self._watts[idx] * (t - times[idx]))
+
+    def energy_between(self, t0: float, t1: float) -> float:
+        """Exact energy in joules consumed on ``[t0, t1]``."""
+        if t1 < t0:
+            raise ValueError(f"energy_between interval reversed: [{t0}, {t1}]")
+        return self.energy_until(t1) - self.energy_until(t0)
+
+    def sample(self, times: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`power_at` over an array of times."""
+        times = np.asarray(times, dtype=np.float64)
+        idx = np.searchsorted(self._times[: self._n], times, side="right") - 1
+        np.clip(idx, 0, None, out=idx)
+        return self._watts[: self._n][idx]
+
+    def breakpoints(self) -> tuple[np.ndarray, np.ndarray]:
+        """Copies of the ``(times, watts)`` breakpoint arrays."""
+        return self._times[: self._n].copy(), self._watts[: self._n].copy()
+
+
+class SummedPowerTrace:
+    """Read-only view that sums several traces (e.g. node = sum of devices).
+
+    An optional constant offset models always-on draw that belongs to no
+    individual device (fans, voltage regulators, board logic).
+    """
+
+    def __init__(self, traces: list[PowerTrace], constant_watts: float = 0.0) -> None:
+        if constant_watts < 0:
+            raise ValueError(f"negative constant power {constant_watts!r} W")
+        self._traces = list(traces)
+        self._constant = float(constant_watts)
+
+    @property
+    def constant_watts(self) -> float:
+        """The constant always-on component in watts."""
+        return self._constant
+
+    def power_at(self, t: float) -> float:
+        """Instantaneous summed power at time ``t``."""
+        return self._constant + sum(tr.power_at(t) for tr in self._traces)
+
+    def energy_until(self, t: float) -> float:
+        """Summed energy on ``[0, t]`` including the constant component."""
+        if t <= 0:
+            return 0.0
+        return self._constant * t + sum(tr.energy_until(t) for tr in self._traces)
+
+    def energy_between(self, t0: float, t1: float) -> float:
+        """Summed energy on ``[t0, t1]``."""
+        if t1 < t0:
+            raise ValueError(f"energy_between interval reversed: [{t0}, {t1}]")
+        return self.energy_until(t1) - self.energy_until(t0)
+
+    def sample(self, times: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`power_at`."""
+        times = np.asarray(times, dtype=np.float64)
+        total = np.full(times.shape, self._constant, dtype=np.float64)
+        for tr in self._traces:
+            total += tr.sample(times)
+        return total

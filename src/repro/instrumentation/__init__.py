@@ -1,0 +1,22 @@
+"""PMT instrumentation of SPH-EXA (the paper's core contribution).
+
+Couples the solver's profiling hooks to PMT meters so that every loop
+function, on every MPI rank, gets energy measurements for each compute
+device — beyond the node-level number Slurm provides.  Records are kept
+per rank throughout the run and gathered at the end of execution into a
+single :class:`~repro.instrumentation.records.RunMeasurements` for
+post-hoc analysis, exactly as Section 2 describes (measure-then-gather to
+avoid perturbing the simulation).
+"""
+
+from repro.instrumentation.records import FunctionEnergyRecord, RunMeasurements
+from repro.instrumentation.profiler import EnergyProfiler
+from repro.instrumentation.reporting import function_report, device_report
+
+__all__ = [
+    "FunctionEnergyRecord",
+    "RunMeasurements",
+    "EnergyProfiler",
+    "function_report",
+    "device_report",
+]

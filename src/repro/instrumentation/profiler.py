@@ -1,0 +1,216 @@
+"""The PMT energy profiler attached to the SPH-EXA hooks.
+
+Per rank, the profiler snapshots the relevant PMT counters when a
+function-call region begins and when *that rank's* call completes, and
+accumulates the deltas into per-(rank, function) records.  Counter
+sources per platform:
+
+* **Cray (LUMI-G)** — one ``cray`` PMT meter per node delivers node, CPU,
+  memory and per-card accelerator counters in a single read; a rank's
+  ``gpu`` counter is its card's ``accelN`` (shared with its card-mate GCD).
+* **NVML systems (CSCS-A100, miniHPC)** — a per-rank ``nvml`` meter for
+  the GPU, a shared per-node ``rapl`` meter for the CPU, and the IPMI node
+  sensor for the node counter.  No memory counter exists (Figure 2's
+  "Other" therefore absorbs memory on these systems).
+
+Reads at identical simulated timestamps are cached per node, matching the
+fact that co-located ranks reading the same counter at the same instant
+see the same value.
+"""
+
+from __future__ import annotations
+
+from repro.config import SystemConfig
+from repro.errors import MeasurementError
+from repro.instrumentation.records import (
+    FunctionEnergyRecord,
+    NodeWindowRecord,
+    RunMeasurements,
+)
+from repro.mpi.mapping import RankPlacement
+from repro.pmt.backends.cray import CrayPMT
+from repro.pmt.backends.nvml import NvmlPMT
+from repro.pmt.backends.rapl import RaplPMT
+from repro.sensors.telemetry import NodeTelemetry
+
+
+class EnergyProfiler:
+    """Per-rank, per-function PMT measurement collection."""
+
+    def __init__(
+        self,
+        placement: RankPlacement,
+        telemetries: list[NodeTelemetry],
+        system: SystemConfig,
+    ) -> None:
+        if len(telemetries) != placement.cluster.num_nodes:
+            raise MeasurementError("one telemetry per node required")
+        self.placement = placement
+        self.telemetries = telemetries
+        self.system = system
+        self.clock = placement.cluster.clock
+
+        self._cray: list[CrayPMT | None] = [None] * len(telemetries)
+        self._rapl: list[RaplPMT | None] = [None] * len(telemetries)
+        self._nvml: dict[int, NvmlPMT] = {}
+        if system.pmt_backend == "cray":
+            self._cray = [CrayPMT(telemetry=tel) for tel in telemetries]
+        else:
+            self._rapl = [RaplPMT(telemetry=tel) for tel in telemetries]
+            for rank in range(placement.size):
+                loc = placement.location(rank)
+                self._nvml[rank] = NvmlPMT(
+                    telemetry=telemetries[loc.node_index],
+                    device_index=loc.card_index,
+                )
+
+        self._node_cache: dict[tuple[int, float], dict[str, float]] = {}
+        self._open: dict[int, tuple[float, dict[str, float]]] = {}
+        self._records: dict[tuple[int, str], FunctionEnergyRecord] = {}
+        self._app_window: tuple[float, list[dict[str, float]]] | None = None
+        self._app_end: tuple[float, list[dict[str, float]]] | None = None
+
+    # -- snapshots --------------------------------------------------------------
+
+    def _node_counters(self, node_index: int) -> dict[str, float]:
+        """Node-shared counters (cached by simulated timestamp)."""
+        key = (node_index, self.clock.now)
+        cached = self._node_cache.get(key)
+        if cached is not None:
+            return cached
+        tel = self.telemetries[node_index]
+        out: dict[str, float] = {}
+        cray = self._cray[node_index]
+        if cray is not None:
+            state = cray.read()
+            out["node"] = state.joules_of("node")
+            out["cpu"] = state.joules_of("cpu")
+            if "memory" in state.names():
+                out["memory"] = state.joules_of("memory")
+            for i in range(len(tel.node.cards)):
+                out[f"accel{i}"] = state.joules_of(f"accel{i}")
+        else:
+            rapl = self._rapl[node_index]
+            assert rapl is not None
+            out["cpu"] = rapl.read().joules
+            out["node"] = tel.slurm_energy_reading(self.clock.now).joules
+        # Only keep the freshest timestamp per node to bound memory.
+        self._node_cache = {
+            k: v for k, v in self._node_cache.items() if k[0] != node_index
+        }
+        self._node_cache[key] = out
+        return out
+
+    def snapshot(self, rank: int) -> dict[str, float]:
+        """This rank's canonical counters (joules) right now."""
+        loc = self.placement.location(rank)
+        shared = self._node_counters(loc.node_index)
+        out = {"node": shared["node"], "cpu": shared["cpu"]}
+        if "memory" in shared:
+            out["memory"] = shared["memory"]
+        if self.system.pmt_backend == "cray":
+            out["gpu"] = shared[f"accel{loc.card_index}"]
+        else:
+            out["gpu"] = self._nvml[rank].read().joules
+        return out
+
+    # -- region instrumentation ----------------------------------------------------
+
+    def begin(self, rank: int) -> None:
+        """Called when a rank enters an instrumented function region."""
+        if rank in self._open:
+            raise MeasurementError(f"rank {rank} already has an open region")
+        self._open[rank] = (self.clock.now, self.snapshot(rank))
+
+    def end(self, rank: int, function: str) -> None:
+        """Called when a rank's function call completes (its own end time)."""
+        try:
+            t0, start = self._open.pop(rank)
+        except KeyError:
+            raise MeasurementError(
+                f"rank {rank} has no open region to end"
+            ) from None
+        end = self.snapshot(rank)
+        deltas = {name: end[name] - start[name] for name in start}
+        key = (rank, function)
+        record = self._records.get(key)
+        if record is None:
+            record = FunctionEnergyRecord(rank=rank, function=function)
+            self._records[key] = record
+        record.accumulate(self.clock.now - t0, deltas)
+
+    # -- run window -----------------------------------------------------------------
+
+    def _window_snapshots(self) -> list[dict[str, float]]:
+        snaps = []
+        for node_index, tel in enumerate(self.telemetries):
+            counters = dict(self._node_counters(node_index))
+            if self.system.pmt_backend != "cray":
+                for i in range(len(tel.node.cards)):
+                    counters[f"accel{i}"] = (
+                        tel.nvml[i].total_energy_consumption_mj(self.clock.now)
+                        / 1e3
+                    )
+            snaps.append(counters)
+        return snaps
+
+    def start_app(self) -> None:
+        """Mark the start of the instrumented window (first time-step)."""
+        self._app_window = (self.clock.now, self._window_snapshots())
+
+    def end_app(self) -> None:
+        """Mark the end of the instrumented window (last time-step)."""
+        if self._app_window is None:
+            raise MeasurementError("end_app() without start_app()")
+        self._app_end = (self.clock.now, self._window_snapshots())
+
+    # -- gather -----------------------------------------------------------------------
+
+    def gather(
+        self,
+        test_case: str,
+        num_steps: int,
+        particles_per_rank: float,
+    ) -> RunMeasurements:
+        """Collect all per-rank records (the end-of-run MPI gather)."""
+        if self._app_window is None or self._app_end is None:
+            raise MeasurementError("gather() requires a completed app window")
+        t_start, snaps_start = self._app_window
+        t_end, snaps_end = self._app_end
+
+        windows: list[NodeWindowRecord] = []
+        for node_index, tel in enumerate(self.telemetries):
+            s0, s1 = snaps_start[node_index], snaps_end[node_index]
+            cards = [
+                s1[f"accel{i}"] - s0[f"accel{i}"]
+                for i in range(len(tel.node.cards))
+            ]
+            windows.append(
+                NodeWindowRecord(
+                    node_index=node_index,
+                    node_joules=s1["node"] - s0["node"],
+                    cpu_joules=s1["cpu"] - s0["cpu"],
+                    memory_joules=(
+                        s1["memory"] - s0["memory"] if "memory" in s0 else None
+                    ),
+                    card_joules=cards,
+                )
+            )
+
+        gpu_freq = self.placement.gpu_of(0).frequency.current_hz / 1e6
+        return RunMeasurements(
+            system_name=self.system.name,
+            test_case=test_case,
+            num_ranks=self.placement.size,
+            num_nodes=self.placement.cluster.num_nodes,
+            gcds_per_card=self.placement.cluster.node_spec.gpu.gcds_per_card,
+            gpu_freq_mhz=gpu_freq,
+            num_steps=num_steps,
+            particles_per_rank=particles_per_rank,
+            app_start=t_start,
+            app_end=t_end,
+            records=sorted(
+                self._records.values(), key=lambda r: (r.rank, r.function)
+            ),
+            node_windows=windows,
+        )

@@ -1,0 +1,121 @@
+"""Measurement records and their on-disk format.
+
+The instrumented application stores, per MPI rank and per loop function,
+the accumulated wall time and the energy of each measurable counter
+(``gpu``, ``cpu``, ``memory``, ``node``).  At the end of the run the
+records are gathered to one structure and written to a JSON file for
+post-hoc analysis ("stored into a file ... to avoid perturbing the actual
+simulation", Section 2).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+from repro.errors import AnalysisError
+
+#: Canonical counter names a rank can report.
+COUNTERS = ("gpu", "cpu", "memory", "node")
+
+
+@dataclass
+class FunctionEnergyRecord:
+    """Accumulated measurements of one function on one rank."""
+
+    rank: int
+    function: str
+    calls: int = 0
+    seconds: float = 0.0
+    #: Raw counter deltas in joules (uncorrected for sensor sharing).
+    joules: dict[str, float] = field(default_factory=dict)
+
+    def accumulate(self, seconds: float, joules: dict[str, float]) -> None:
+        """Add one instrumented call's measurements."""
+        if seconds < 0:
+            raise AnalysisError("negative region duration")
+        self.calls += 1
+        self.seconds += seconds
+        for name, value in joules.items():
+            self.joules[name] = self.joules.get(name, 0.0) + value
+
+
+@dataclass
+class NodeWindowRecord:
+    """Per-node counter deltas over the whole application window."""
+
+    node_index: int
+    node_joules: float
+    cpu_joules: float
+    memory_joules: float | None
+    card_joules: list[float] = field(default_factory=list)
+
+
+@dataclass
+class RunMeasurements:
+    """Everything one instrumented run produces (post-gather)."""
+
+    system_name: str
+    test_case: str
+    num_ranks: int
+    num_nodes: int
+    gcds_per_card: int
+    gpu_freq_mhz: float
+    num_steps: int
+    particles_per_rank: float
+    app_start: float
+    app_end: float
+    records: list[FunctionEnergyRecord] = field(default_factory=list)
+    node_windows: list[NodeWindowRecord] = field(default_factory=list)
+
+    @property
+    def app_seconds(self) -> float:
+        """Wall time of the instrumented window (first to last time-step)."""
+        return self.app_end - self.app_start
+
+    @property
+    def ranks_per_node(self) -> int:
+        """MPI ranks per node."""
+        return self.num_ranks // self.num_nodes
+
+    def functions(self) -> list[str]:
+        """Function names present, in first-seen order."""
+        seen: dict[str, None] = {}
+        for rec in self.records:
+            seen.setdefault(rec.function, None)
+        return list(seen)
+
+    def record(self, rank: int, function: str) -> FunctionEnergyRecord:
+        """The record of (rank, function)."""
+        for rec in self.records:
+            if rec.rank == rank and rec.function == function:
+                return rec
+        raise AnalysisError(f"no record for rank {rank}, function {function!r}")
+
+    # -- persistence --------------------------------------------------------------
+
+    def to_json(self) -> str:
+        """Serialize to the post-hoc analysis file format."""
+        payload = asdict(self)
+        return json.dumps(payload, indent=1)
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunMeasurements":
+        """Parse a measurement file."""
+        try:
+            payload = json.loads(text)
+            records = [FunctionEnergyRecord(**r) for r in payload.pop("records")]
+            windows = [NodeWindowRecord(**w) for w in payload.pop("node_windows")]
+            return cls(records=records, node_windows=windows, **payload)
+        except (KeyError, TypeError, ValueError) as exc:
+            raise AnalysisError(f"malformed measurement file: {exc}") from exc
+
+    def write(self, path: str | Path) -> None:
+        """Write the measurement file."""
+        Path(path).write_text(self.to_json())
+
+    @classmethod
+    def read(cls, path: str | Path) -> "RunMeasurements":
+        """Load a measurement file."""
+        return cls.from_json(Path(path).read_text())

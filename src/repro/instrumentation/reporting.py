@@ -1,0 +1,55 @@
+"""Human-readable measurement reports.
+
+Renders the gathered measurements the way a user would consume them after
+a run: a per-device summary (the Figure 2 view) and a per-function table
+(the Figure 3 view).
+"""
+
+from __future__ import annotations
+
+from repro.instrumentation.records import RunMeasurements
+from repro.units import format_duration, joules_to_megajoules
+
+
+def device_report(run: RunMeasurements) -> str:
+    """The device-level energy breakdown of one run."""
+    # Imported lazily: the analysis package consumes instrumentation
+    # records, so a top-level import here would be circular.
+    from repro.analysis.breakdown import device_breakdown
+
+    breakdown = device_breakdown(run)
+    lines = [
+        f"Run: {run.test_case} on {run.system_name} "
+        f"({run.num_ranks} ranks / {run.num_nodes} nodes, "
+        f"{run.gpu_freq_mhz:.0f} MHz)",
+        f"Instrumented window: {format_duration(run.app_seconds)}",
+        f"Total energy: {joules_to_megajoules(breakdown.total_joules):.2f} MJ",
+        "",
+        f"{'Device':>8} {'Energy [MJ]':>12} {'Share':>8}",
+    ]
+    for device, joules in breakdown.joules.items():
+        share = breakdown.shares[device]
+        lines.append(
+            f"{device:>8} {joules_to_megajoules(joules):>12.3f} {share:>7.1%}"
+        )
+    return "\n".join(lines)
+
+
+def function_report(run: RunMeasurements, device: str = "gpu") -> str:
+    """The per-function energy breakdown for one device."""
+    from repro.analysis.breakdown import function_breakdown
+
+    rows = function_breakdown(run, device)
+    total = sum(r.joules for r in rows)
+    lines = [
+        f"Function-level {device.upper()} energy, {run.test_case} on "
+        f"{run.system_name}:",
+        f"{'Function':>24} {'Energy [MJ]':>12} {'Share':>8} {'Time [s]':>10}",
+    ]
+    for row in rows:
+        share = row.joules / total if total else 0.0
+        lines.append(
+            f"{row.function:>24} {joules_to_megajoules(row.joules):>12.3f} "
+            f"{share:>7.1%} {row.seconds:>10.1f}"
+        )
+    return "\n".join(lines)

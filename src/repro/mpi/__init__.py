@@ -1,0 +1,29 @@
+"""Simulated MPI runtime.
+
+The paper's methodology is MPI-shaped: one rank per GPU unit (per GCD on
+LUMI-G, per card on A100 systems), per-rank measurements throughout the
+run, and a gather at the end of execution.  This package provides:
+
+* :class:`~repro.mpi.mapping.RankPlacement` — the rank -> (node, GPU unit,
+  card) assignment, including which ranks *share* a power sensor (the
+  MI250X half-card situation);
+* :class:`~repro.mpi.costmodel.CommCostModel` — latency/bandwidth costs
+  for the collectives and halo exchanges SPH-EXA performs;
+* :class:`~repro.mpi.engine.SpmdEngine` — the lockstep phase executor that
+  applies device loads, advances the virtual clock through per-rank
+  completion times, and fires instrumentation callbacks exactly when each
+  rank would take its measurements.
+"""
+
+from repro.mpi.mapping import RankPlacement, RankLocation
+from repro.mpi.costmodel import CommCostModel
+from repro.mpi.engine import RankWork, PhaseResult, SpmdEngine
+
+__all__ = [
+    "RankPlacement",
+    "RankLocation",
+    "CommCostModel",
+    "RankWork",
+    "PhaseResult",
+    "SpmdEngine",
+]

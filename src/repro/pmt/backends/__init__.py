@@ -1,0 +1,1 @@
+"""Concrete PMT backends (importing a module registers its backend)."""

@@ -1,0 +1,66 @@
+"""Composite PMT backend: several meters behind one interface.
+
+The original toolkit lets an application hold one meter per device; in
+practice instrumentation wants *one* ``read()`` per region covering all of
+them (GPU + CPU on an NVML/RAPL platform, say).  The composite wraps any
+set of PMT instances: its state's primary measurement is the sum of the
+children's primaries, and every child measurement is re-exported with a
+prefixed name for per-device analysis.
+"""
+
+from __future__ import annotations
+
+from repro.errors import BackendError
+from repro.pmt.base import PMT
+from repro.pmt.registry import register_backend
+from repro.pmt.state import Measurement, State
+
+
+@register_backend("composite")
+class CompositePMT(PMT):
+    """A meter aggregating several child meters.
+
+    Parameters
+    ----------
+    meters:
+        Named child meters, e.g. ``{"gpu0": nvml_meter, "cpu": rapl_meter}``.
+        All children must share one clock (one node / one simulation).
+    """
+
+    def __init__(self, meters: dict[str, PMT]) -> None:
+        if not meters:
+            raise BackendError("composite meter needs at least one child")
+        clocks = {id(m.clock) for m in meters.values()}
+        if len(clocks) != 1:
+            raise BackendError("composite children must share one clock")
+        super().__init__(next(iter(meters.values())).clock)
+        self._meters = dict(meters)
+
+    @property
+    def children(self) -> tuple[str, ...]:
+        """Names of the child meters."""
+        return tuple(self._meters)
+
+    def read_state(self) -> State:
+        measurements: list[Measurement] = []
+        total_joules = 0.0
+        total_watts = 0.0
+        for name, meter in self._meters.items():
+            state = meter.read()
+            total_joules += state.joules
+            total_watts += state.watts
+            for m in state.measurements:
+                measurements.append(
+                    Measurement(
+                        name=f"{name}.{m.name}",
+                        joules=m.joules,
+                        watts=m.watts,
+                    )
+                )
+        primary = Measurement(
+            name="total", joules=total_joules, watts=total_watts
+        )
+        return State(
+            timestamp=self.clock.now,
+            measurements=(primary, *measurements),
+        )

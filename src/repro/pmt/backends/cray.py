@@ -1,0 +1,61 @@
+"""HPE/Cray PMT backend: reads ``pm_counters`` files.
+
+This is the backend the paper highlights: Slurm only reports node-level
+energy from the same counters, but PMT reads *all* of them — node, CPU,
+memory and per-card accelerators — so a single ``read()`` carries the full
+device breakdown (Figure 2) in one state.
+
+The backend goes through the virtual sysfs string interface on purpose:
+parsing ``"284 W 1663261174293871 us"`` is exactly what the real backend
+does, and keeping that path honest means tests exercise the format too.
+"""
+
+from __future__ import annotations
+
+from repro.errors import BackendError
+from repro.pmt.base import PMT
+from repro.pmt.registry import register_backend
+from repro.pmt.state import Measurement, State
+from repro.sensors.pm_counters import PM_COUNTERS_DIR, parse_pm_file
+from repro.sensors.telemetry import NodeTelemetry
+
+
+@register_backend("cray")
+class CrayPMT(PMT):
+    """PMT over HPE/Cray pm_counters.
+
+    Parameters
+    ----------
+    telemetry:
+        The node's telemetry (must have pm_counters, i.e. a Cray platform).
+    """
+
+    def __init__(self, telemetry: NodeTelemetry) -> None:
+        if telemetry.pm_counters is None:
+            raise BackendError(
+                f"node {telemetry.node.name} has no pm_counters; the cray "
+                "backend requires an HPE/Cray platform"
+            )
+        super().__init__(telemetry.node.clock)
+        self.telemetry = telemetry
+        self._sysfs = telemetry.sysfs
+        stems = ["", "cpu"]
+        if telemetry.pm_counters.memory_counter is not None:
+            stems.append("memory")
+        stems += [f"accel{i}" for i in range(len(telemetry.node.cards))]
+        self._stems = stems
+
+    def _read_pair(self, stem: str) -> Measurement:
+        prefix = f"{PM_COUNTERS_DIR}/{stem}_" if stem else f"{PM_COUNTERS_DIR}/"
+        watts, w_unit, _ = parse_pm_file(self._sysfs.read(prefix + "power"))
+        joules, j_unit, _ = parse_pm_file(self._sysfs.read(prefix + "energy"))
+        if w_unit != "W" or j_unit != "J":
+            raise BackendError(
+                f"unexpected pm_counters units for {stem or 'node'}: "
+                f"{w_unit!r}/{j_unit!r}"
+            )
+        return Measurement(name=stem or "node", joules=joules, watts=watts)
+
+    def read_state(self) -> State:
+        measurements = tuple(self._read_pair(stem) for stem in self._stems)
+        return State(timestamp=self.clock.now, measurements=measurements)

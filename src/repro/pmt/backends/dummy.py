@@ -1,0 +1,29 @@
+"""Dummy PMT backend: always-zero measurements.
+
+Matches the original toolkit's ``dummy`` backend: lets applications keep
+their instrumentation compiled in on platforms without any sensor, at zero
+cost and zero values.  Also convenient in unit tests.
+"""
+
+from __future__ import annotations
+
+from repro.hardware.clock import VirtualClock
+from repro.pmt.base import PMT
+from repro.pmt.registry import register_backend
+from repro.pmt.state import Measurement, State
+
+
+@register_backend("dummy")
+class DummyPMT(PMT):
+    """A meter that measures nothing."""
+
+    def __init__(self, clock: VirtualClock | None = None) -> None:
+        super().__init__(clock if clock is not None else VirtualClock())
+        self.read_count = 0
+
+    def read_state(self) -> State:
+        self.read_count += 1
+        return State(
+            timestamp=self.clock.now,
+            measurements=(Measurement(name="dummy", joules=0.0, watts=0.0),),
+        )

@@ -1,0 +1,50 @@
+"""NVML PMT backend: one NVIDIA GPU card.
+
+Uses the card's total-energy counter (millijoules, Volta+) as the energy
+source, so region energy is a counter difference rather than a power
+integration — the accurate path the real backend prefers when available.
+"""
+
+from __future__ import annotations
+
+from repro.errors import BackendError
+from repro.pmt.base import PMT
+from repro.pmt.registry import register_backend
+from repro.pmt.state import Measurement, State
+from repro.sensors.telemetry import NodeTelemetry
+
+
+@register_backend("nvml")
+class NvmlPMT(PMT):
+    """PMT over NVML for one GPU.
+
+    Parameters
+    ----------
+    telemetry:
+        The node's telemetry (must expose NVML devices).
+    device_index:
+        Which GPU card to measure (the rank's card).
+    """
+
+    def __init__(self, telemetry: NodeTelemetry, device_index: int = 0) -> None:
+        if not telemetry.nvml:
+            raise BackendError(
+                f"node {telemetry.node.name} exposes no NVML devices"
+            )
+        if not 0 <= device_index < len(telemetry.nvml):
+            raise BackendError(
+                f"NVML device index {device_index} out of range "
+                f"(node has {len(telemetry.nvml)} GPUs)"
+            )
+        super().__init__(telemetry.node.clock)
+        self._device = telemetry.nvml[device_index]
+        self._name = f"gpu{device_index}"
+
+    def read_state(self) -> State:
+        t = self.clock.now
+        joules = self._device.total_energy_consumption_mj(t) / 1e3
+        watts = self._device.power_usage_mw(t) / 1e3
+        return State(
+            timestamp=t,
+            measurements=(Measurement(name=self._name, joules=joules, watts=watts),),
+        )

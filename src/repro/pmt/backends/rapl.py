@@ -1,0 +1,67 @@
+"""RAPL PMT backend: CPU package energy via powercap sysfs.
+
+RAPL registers wrap around (32-bit microjoule accumulators), so the backend
+keeps an *unwrapped* running total: each ``read()`` diffs the raw register
+against the previous raw value modulo ``max_energy_range_uj``.  RAPL has no
+power register; instantaneous watts are estimated from the last two reads.
+"""
+
+from __future__ import annotations
+
+from repro.errors import BackendError
+from repro.pmt.base import PMT
+from repro.pmt.registry import register_backend
+from repro.pmt.state import Measurement, State
+from repro.sensors.rapl import RAPL_DIR
+from repro.sensors.telemetry import NodeTelemetry
+
+
+@register_backend("rapl")
+class RaplPMT(PMT):
+    """PMT over the RAPL package domain of the node's CPU."""
+
+    def __init__(self, telemetry: NodeTelemetry, package_index: int = 0) -> None:
+        if telemetry.rapl is None:
+            raise BackendError(
+                f"node {telemetry.node.name} exposes no RAPL domain"
+            )
+        super().__init__(telemetry.node.clock)
+        self._sysfs = telemetry.sysfs
+        self._base = f"{RAPL_DIR}/intel-rapl:{package_index}"
+        if not self._sysfs.exists(f"{self._base}/energy_uj"):
+            raise BackendError(f"no RAPL package {package_index} on this node")
+        self._max_uj = int(self._sysfs.read(f"{self._base}/max_energy_range_uj"))
+        self._last_raw_uj: int | None = None
+        self._unwrapped_uj = 0
+        self._last_read: tuple[float, int] | None = None  # (t, unwrapped_uj)
+
+    def _raw_uj(self) -> int:
+        return int(self._sysfs.read(f"{self._base}/energy_uj"))
+
+    def read_state(self) -> State:
+        t = self.clock.now
+        raw = self._raw_uj()
+        if self._last_raw_uj is not None:
+            delta = raw - self._last_raw_uj
+            if delta < 0:
+                delta += self._max_uj
+            self._unwrapped_uj += delta
+        self._last_raw_uj = raw
+
+        watts = 0.0
+        if self._last_read is not None:
+            t_prev, uj_prev = self._last_read
+            if t > t_prev:
+                watts = (self._unwrapped_uj - uj_prev) * 1e-6 / (t - t_prev)
+        self._last_read = (t, self._unwrapped_uj)
+
+        return State(
+            timestamp=t,
+            measurements=(
+                Measurement(
+                    name="package-0",
+                    joules=self._unwrapped_uj * 1e-6,
+                    watts=watts,
+                ),
+            ),
+        )

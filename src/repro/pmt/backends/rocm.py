@@ -1,0 +1,53 @@
+"""ROCm PMT backend: AMD GPU card power via hwmon, integrated to energy.
+
+Older ROCm stacks expose only an average-power register (microwatts), not
+an energy accumulator, so this backend integrates power across its own
+``read()`` calls with the trapezoidal rule — the polling-integration path
+of the real toolkit.  Accuracy therefore depends on read cadence, which is
+exactly why the instrumentation layer reads at region boundaries *and* the
+background sampler exists.
+"""
+
+from __future__ import annotations
+
+from repro.errors import BackendError
+from repro.pmt.base import PMT
+from repro.pmt.registry import register_backend
+from repro.pmt.state import Measurement, State
+from repro.sensors.telemetry import NodeTelemetry
+
+
+@register_backend("rocm")
+class RocmPMT(PMT):
+    """PMT over ROCm hwmon for one GPU card."""
+
+    def __init__(self, telemetry: NodeTelemetry, device_index: int = 0) -> None:
+        if not telemetry.rocm:
+            raise BackendError(
+                f"node {telemetry.node.name} exposes no ROCm hwmon devices"
+            )
+        if not 0 <= device_index < len(telemetry.rocm):
+            raise BackendError(
+                f"ROCm device index {device_index} out of range "
+                f"(node has {len(telemetry.rocm)} cards)"
+            )
+        super().__init__(telemetry.node.clock)
+        self._sysfs = telemetry.sysfs
+        self._path = telemetry.rocm[device_index].hwmon_path
+        self._name = f"card{device_index}"
+        self._joules = 0.0
+        self._last: tuple[float, float] | None = None  # (t, watts)
+
+    def read_state(self) -> State:
+        t = self.clock.now
+        watts = int(self._sysfs.read(self._path)) * 1e-6
+        if self._last is not None:
+            t_prev, w_prev = self._last
+            self._joules += 0.5 * (w_prev + watts) * (t - t_prev)
+        self._last = (t, watts)
+        return State(
+            timestamp=t,
+            measurements=(
+                Measurement(name=self._name, joules=self._joules, watts=watts),
+            ),
+        )

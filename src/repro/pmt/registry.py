@@ -1,0 +1,48 @@
+"""Backend factory: ``pmt.create("cray", ...)``.
+
+Backends self-register via the :func:`register_backend` decorator at import
+time, so adding a platform never touches application code — the property
+the paper leans on to instrument SPH-EXA once and run on three systems.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Type
+
+from repro.errors import BackendError
+from repro.pmt.base import PMT
+
+_REGISTRY: dict[str, Type[PMT]] = {}
+
+
+def register_backend(name: str) -> Callable[[Type[PMT]], Type[PMT]]:
+    """Class decorator registering a PMT backend under ``name``."""
+
+    def decorator(cls: Type[PMT]) -> Type[PMT]:
+        if name in _REGISTRY:
+            raise BackendError(f"backend {name!r} already registered")
+        cls.name = name
+        _REGISTRY[name] = cls
+        return cls
+
+    return decorator
+
+
+def available_backends() -> tuple[str, ...]:
+    """Sorted names of all registered backends."""
+    return tuple(sorted(_REGISTRY))
+
+
+def create(name: str, **kwargs) -> PMT:
+    """Instantiate the backend registered under ``name``.
+
+    Keyword arguments are backend specific (e.g. ``telemetry=`` for
+    ``cray``, ``telemetry=`` and ``device_index=`` for ``nvml``).
+    """
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        raise BackendError(
+            f"unknown PMT backend {name!r}; available: {available_backends()}"
+        ) from None
+    return cls(**kwargs)

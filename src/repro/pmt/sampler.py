@@ -1,0 +1,99 @@
+"""Background PMT sampling (the toolkit's dump-thread equivalent).
+
+The real PMT can spawn a measurement thread that samples the meter at a
+fixed interval and appends ``timestamp joules watts`` lines to a dump file
+for post-hoc analysis.  Under the virtual clock there are no threads; the
+sampler instead registers a clock listener and takes a sample whenever
+simulated time crosses a sampling boundary.  Because hardware state changes
+only at phase boundaries (which advance the clock), listener-driven
+sampling observes exactly what a free-running thread would.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import MeasurementError
+from repro.pmt.base import PMT
+
+
+@dataclass(frozen=True)
+class SampleRow:
+    """One dump line: the meter state at a sampling boundary."""
+
+    timestamp: float
+    joules: float
+    watts: float
+
+
+class PmtSampler:
+    """Periodic sampler over one PMT instance.
+
+    Parameters
+    ----------
+    meter:
+        The PMT instance to sample.
+    interval_s:
+        Sampling period in (simulated) seconds.
+    """
+
+    def __init__(self, meter: PMT, interval_s: float = 1.0) -> None:
+        if interval_s <= 0:
+            raise MeasurementError("sampler interval must be positive")
+        self.meter = meter
+        self.interval_s = float(interval_s)
+        self.rows: list[SampleRow] = []
+        self._running = False
+        self._next_sample_t = 0.0
+        meter.clock.on_advance(self._on_advance)
+
+    def start(self) -> None:
+        """Begin sampling; the first sample is taken immediately."""
+        if self._running:
+            raise MeasurementError("sampler already running")
+        self._running = True
+        self._take_sample()
+        self._next_sample_t = self.meter.clock.now + self.interval_s
+
+    def stop(self) -> None:
+        """Stop sampling; a final sample is taken at stop time."""
+        if not self._running:
+            raise MeasurementError("sampler is not running")
+        self._take_sample()
+        self._running = False
+
+    def _take_sample(self) -> None:
+        state = self.meter.read()
+        self.rows.append(
+            SampleRow(
+                timestamp=self.meter.clock.now,
+                joules=state.joules,
+                watts=state.watts,
+            )
+        )
+
+    def _on_advance(self, now: float) -> None:
+        if not self._running:
+            return
+        # Catch up on every boundary the advance crossed (coarse phases can
+        # skip many sampling intervals at once).
+        while self._next_sample_t <= now:
+            self._take_sample()
+            self._next_sample_t += self.interval_s
+
+    # -- output ---------------------------------------------------------------
+
+    def dump_lines(self) -> list[str]:
+        """Dump-file lines in the toolkit's ``timestamp joules watts`` format."""
+        lines = ["# timestamp_s joules watts"]
+        lines += [
+            f"{row.timestamp:.6f} {row.joules:.3f} {row.watts:.3f}"
+            for row in self.rows
+        ]
+        return lines
+
+    def write(self, path: str | Path) -> None:
+        """Write the dump file."""
+        Path(path).write_text("\n".join(self.dump_lines()) + "\n")

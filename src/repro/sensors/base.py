@@ -1,0 +1,161 @@
+"""Core sensor mechanism: a sampling energy counter over a power trace.
+
+Real power telemetry controllers (Cray BMC, NVML, RAPL) sample device power
+at a fixed cadence, quantize it, and integrate it into a monotonically
+increasing energy accumulator.  :class:`SampledEnergyCounter` reproduces
+that pipeline over a ground-truth :class:`~repro.hardware.trace.PowerTrace`:
+
+* at every tick ``k * refresh_period`` the controller reads instantaneous
+  power (left-rectangle sample), adds optional Gaussian sensor noise, and
+  quantizes to ``watts_quantum``;
+* the energy accumulator advances by ``power * refresh_period`` per tick and
+  is exposed quantized to ``energy_quantum`` (optionally wrapping at
+  ``wrap_joules``, like RAPL's 32-bit microjoule registers);
+* a read at time ``t`` reflects the state as of the *last completed tick* —
+  data between ticks is invisible, which is exactly why short instrumented
+  regions see quantization error.
+
+The per-tick quantized powers are cached in a growable prefix-sum buffer so
+reads may arrive in any time order (two MPI ranks sharing one card sensor
+read it at slightly different times).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SensorError
+
+
+@dataclass(frozen=True)
+class SensorReading:
+    """One sensor read: the controller state at its last completed tick."""
+
+    #: Time of the tick this reading reflects (seconds).
+    timestamp: float
+    #: Instantaneous power register (quantized; noisy if the sensor is).
+    watts: float
+    #: Cumulative energy accumulator (quantized; may wrap if configured).
+    joules: float
+
+
+class SampledEnergyCounter:
+    """Sampling, quantizing, integrating power sensor (see module docstring).
+
+    Parameters
+    ----------
+    trace:
+        Ground-truth power source; anything with a ``sample(times)`` method
+        (:class:`PowerTrace` or :class:`SummedPowerTrace`).
+    refresh_period_s:
+        Controller tick period in seconds.
+    watts_quantum:
+        Power register resolution in watts (e.g. 1.0 for pm_counters,
+        1e-3 for NVML).
+    energy_quantum:
+        Energy accumulator resolution in joules (e.g. 1.0 for pm_counters,
+        15.3e-6 for RAPL).
+    noise_sigma_watts:
+        Standard deviation of per-tick Gaussian sensor noise.
+    wrap_joules:
+        If set, the exposed accumulator wraps modulo this value.
+    seed:
+        Seed for the deterministic noise stream.
+    initial_joules:
+        Accumulator value at t = 0.  Real counters count since boot (or
+        driver load), not since the job started, so consumers must always
+        difference two reads; a nonzero base catches code that forgets.
+    """
+
+    def __init__(
+        self,
+        trace,
+        refresh_period_s: float,
+        watts_quantum: float = 1.0,
+        energy_quantum: float = 1.0,
+        noise_sigma_watts: float = 0.0,
+        wrap_joules: float | None = None,
+        seed: int = 0,
+        initial_joules: float = 0.0,
+    ) -> None:
+        if refresh_period_s <= 0:
+            raise SensorError("refresh period must be positive")
+        if watts_quantum <= 0 or energy_quantum <= 0:
+            raise SensorError("quantization steps must be positive")
+        if noise_sigma_watts < 0:
+            raise SensorError("noise sigma must be >= 0")
+        if wrap_joules is not None and wrap_joules <= 0:
+            raise SensorError("wrap_joules must be positive when set")
+        if initial_joules < 0:
+            raise SensorError("initial_joules must be >= 0")
+        self.initial_joules = float(initial_joules)
+        self._trace = trace
+        self.refresh_period_s = float(refresh_period_s)
+        self.watts_quantum = float(watts_quantum)
+        self.energy_quantum = float(energy_quantum)
+        self.noise_sigma_watts = float(noise_sigma_watts)
+        self.wrap_joules = wrap_joules
+        self._rng = np.random.default_rng(seed)
+        # Quantized tick powers and their running energy integral.
+        self._tick_watts = np.zeros(0, dtype=np.float64)
+        self._cum_joules = np.zeros(0, dtype=np.float64)
+
+    # -- internal ------------------------------------------------------------
+
+    def _ensure_ticks(self, upto_tick: int) -> None:
+        """Extend the cached tick buffers through tick index ``upto_tick``.
+
+        Tick ``k`` samples ground truth at ``k * period``; the accumulator
+        at tick ``k`` integrates powers of ticks ``0 .. k-1``.
+        """
+        have = len(self._tick_watts)
+        if upto_tick < have:
+            return
+        new_ticks = np.arange(have, upto_tick + 1, dtype=np.float64)
+        times = new_ticks * self.refresh_period_s
+        watts = np.asarray(self._trace.sample(times), dtype=np.float64)
+        if self.noise_sigma_watts > 0:
+            watts = watts + self._rng.normal(
+                0.0, self.noise_sigma_watts, size=watts.shape
+            )
+            np.clip(watts, 0.0, None, out=watts)
+        watts = np.round(watts / self.watts_quantum) * self.watts_quantum
+        prev_cum = self._cum_joules[-1] if have else 0.0
+        prev_watt = self._tick_watts[-1] if have else 0.0
+        # cum[k] = cum[k-1] + watts[k-1] * period
+        increments = np.empty(len(watts))
+        increments[0] = prev_watt * self.refresh_period_s if have else 0.0
+        increments[1:] = watts[:-1] * self.refresh_period_s
+        cum = prev_cum + np.cumsum(increments)
+        self._tick_watts = np.concatenate([self._tick_watts, watts])
+        self._cum_joules = np.concatenate([self._cum_joules, cum])
+
+    # -- public --------------------------------------------------------------
+
+    def tick_index(self, t: float) -> int:
+        """Index of the last completed tick at or before time ``t``."""
+        if t < 0:
+            raise SensorError(f"cannot read sensor at negative time {t!r}")
+        # Guard against float fuzz right below a tick boundary.
+        return int(math.floor(t / self.refresh_period_s + 1e-9))
+
+    def read(self, t: float) -> SensorReading:
+        """Read the sensor at simulated time ``t``."""
+        k = self.tick_index(t)
+        self._ensure_ticks(k)
+        joules = self.initial_joules + self._cum_joules[k]
+        joules = math.floor(joules / self.energy_quantum) * self.energy_quantum
+        if self.wrap_joules is not None:
+            joules = joules % self.wrap_joules
+        return SensorReading(
+            timestamp=k * self.refresh_period_s,
+            watts=float(self._tick_watts[k]),
+            joules=float(joules),
+        )
+
+    def true_energy(self, t: float) -> float:
+        """Ground-truth energy on ``[0, t]`` (for validation tests)."""
+        return self._trace.energy_until(t)

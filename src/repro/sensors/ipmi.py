@@ -1,0 +1,37 @@
+"""IPMI/BMC node-level power telemetry.
+
+Non-Cray systems (CSCS-A100, miniHPC) expose node power through the
+baseboard management controller, read via IPMI.  The BMC is slow (~1 Hz)
+and coarse (integer watts with a few watts of sensor error), but it sees
+the *whole node* — which is what Slurm's ``AcctGatherEnergy/ipmi`` plugin
+integrates for job energy accounting.
+"""
+
+from __future__ import annotations
+
+from repro.hardware.node import Node
+from repro.sensors.base import SampledEnergyCounter, SensorReading
+
+#: BMC sensor refresh period.
+IPMI_PERIOD_S = 1.0
+
+
+class IpmiNode:
+    """The BMC's node-power sensor."""
+
+    def __init__(self, node: Node, seed: int = 0) -> None:
+        self.node = node
+        self.counter = SampledEnergyCounter(
+            node.trace,
+            refresh_period_s=IPMI_PERIOD_S,
+            watts_quantum=1.0,
+            energy_quantum=1.0,
+            noise_sigma_watts=2.0,
+            seed=seed + 500,
+            # BMCs accumulate since power-on; nonzero base (see base.py).
+            initial_joules=float((seed * 733 + 17) % 250_000_000),
+        )
+
+    def read(self, t: float) -> SensorReading:
+        """Node power/energy as the BMC sees it at time ``t``."""
+        return self.counter.read(t)

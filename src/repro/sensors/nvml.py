@@ -1,0 +1,57 @@
+"""NVIDIA NVML power telemetry.
+
+NVML reports instantaneous *board* power in milliwatts
+(``nvmlDeviceGetPowerUsage``) and, on Volta and newer, a monotonically
+increasing total-energy counter in millijoules
+(``nvmlDeviceGetTotalEnergyConsumption``).  The power reading is an
+estimate produced by the card's power-management controller: it refreshes
+at tens of hertz and carries a few watts of estimation noise (NVIDIA
+documents +-5 W / +-5 %), which we model as deterministic Gaussian noise on
+each controller tick.
+
+One NVML handle maps to one physical card — on A100 systems that is also
+one MPI rank's device, which is why per-rank attribution is exact on
+CSCS-A100 and miniHPC (in contrast to the MI250X half-card situation).
+"""
+
+from __future__ import annotations
+
+from repro.hardware.gpu import GpuCard
+from repro.sensors.base import SampledEnergyCounter, SensorReading
+
+#: NVML power-management controller refresh period (~20 Hz on A100).
+NVML_PERIOD_S = 0.05
+
+#: Documented board-power estimation error (standard deviation we use).
+NVML_NOISE_SIGMA_W = 3.0
+
+
+class NvmlGpu:
+    """The NVML view of one GPU card."""
+
+    def __init__(self, card: GpuCard, index: int, seed: int = 0) -> None:
+        self.card = card
+        self.index = index
+        self.counter = SampledEnergyCounter(
+            card.trace,
+            refresh_period_s=NVML_PERIOD_S,
+            watts_quantum=1e-3,
+            energy_quantum=1e-3,
+            noise_sigma_watts=NVML_NOISE_SIGMA_W,
+            seed=seed + index,
+            # nvmlDeviceGetTotalEnergyConsumption counts since driver
+            # load, not since the job started.
+            initial_joules=float((seed * 97 + index * 40_009) % 90_000_000),
+        )
+
+    def power_usage_mw(self, t: float) -> int:
+        """``nvmlDeviceGetPowerUsage``: board power in integer milliwatts."""
+        return int(round(self.counter.read(t).watts * 1e3))
+
+    def total_energy_consumption_mj(self, t: float) -> int:
+        """``nvmlDeviceGetTotalEnergyConsumption``: energy in millijoules."""
+        return int(round(self.counter.read(t).joules * 1e3))
+
+    def read(self, t: float) -> SensorReading:
+        """Raw counter state (SI units) at time ``t``."""
+        return self.counter.read(t)

@@ -1,0 +1,47 @@
+"""A virtual sysfs: the file-shaped surface of the sensor layer.
+
+The real PMT reads strings out of paths like
+``/sys/cray/pm_counters/accel0_power``.  To keep our PMT backends honest
+(string parsing and all), sensors register *reader callables* under paths
+in a :class:`VirtualSysfs`; reading a path invokes the callable with the
+current simulated time and returns the formatted file content.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import SensorError
+from repro.hardware.clock import VirtualClock
+
+
+class VirtualSysfs:
+    """Path-addressed registry of time-dependent file contents."""
+
+    def __init__(self, clock: VirtualClock) -> None:
+        self._clock = clock
+        self._files: dict[str, Callable[[float], str]] = {}
+
+    def register(self, path: str, reader: Callable[[float], str]) -> None:
+        """Expose ``reader(t) -> str`` as the content of ``path``."""
+        if path in self._files:
+            raise SensorError(f"sysfs path already registered: {path!r}")
+        self._files[path] = reader
+
+    def exists(self, path: str) -> bool:
+        """Whether ``path`` is registered."""
+        return path in self._files
+
+    def read(self, path: str) -> str:
+        """Read the current content of ``path``."""
+        try:
+            reader = self._files[path]
+        except KeyError:
+            raise SensorError(f"no such sysfs file: {path!r}") from None
+        return reader(self._clock.now)
+
+    def listdir(self, prefix: str) -> list[str]:
+        """All registered paths under ``prefix`` (sorted)."""
+        if not prefix.endswith("/"):
+            prefix += "/"
+        return sorted(p for p in self._files if p.startswith(prefix))

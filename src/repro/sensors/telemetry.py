@@ -1,0 +1,81 @@
+"""Per-node telemetry assembly.
+
+:class:`NodeTelemetry` instantiates the sensor set a given system actually
+has (Table 1 semantics):
+
+* **LUMI-G** (``cray`` backend): full pm_counters set — node, CPU, memory
+  and per-card accelerator counters, all through the virtual sysfs.
+* **CSCS-A100 / miniHPC** (``nvml`` backend): NVML per-card telemetry plus
+  a RAPL package counter for the CPU and an IPMI node sensor for Slurm.
+  No memory sensor — which is why Figure 2 folds memory into "Other" on
+  those systems.
+"""
+
+from __future__ import annotations
+
+from repro.config import SystemConfig
+from repro.errors import SensorError
+from repro.hardware.clock import VirtualClock
+from repro.hardware.node import Node
+from repro.sensors.ipmi import IpmiNode
+from repro.sensors.nvml import NvmlGpu
+from repro.sensors.pm_counters import PmCounters
+from repro.sensors.rapl import RaplPackage
+from repro.sensors.rocm import RocmCard
+from repro.sensors.sysfs import VirtualSysfs
+
+
+class NodeTelemetry:
+    """All the sensors of one node, as its platform provides them."""
+
+    def __init__(
+        self,
+        node: Node,
+        system: SystemConfig,
+        clock: VirtualClock,
+        seed: int = 0,
+    ) -> None:
+        self.node = node
+        self.system = system
+        self.sysfs = VirtualSysfs(clock)
+        self.pm_counters: PmCounters | None = None
+        self.nvml: list[NvmlGpu] = []
+        self.rocm: list[RocmCard] = []
+        self.rapl: RaplPackage | None = None
+        self.ipmi: IpmiNode | None = None
+
+        if system.pmt_backend == "cray":
+            self.pm_counters = PmCounters(
+                node,
+                self.sysfs,
+                include_memory=system.has_memory_sensor,
+                seed=seed,
+            )
+            # HPE/Cray MI250X nodes also expose ROCm hwmon files.
+            self.rocm = [
+                RocmCard(card, i, self.sysfs, seed=seed)
+                for i, card in enumerate(node.cards)
+            ]
+        else:
+            self.nvml = [
+                NvmlGpu(card, i, seed=seed) for i, card in enumerate(node.cards)
+            ]
+            self.rapl = RaplPackage(node.cpu, self.sysfs, seed=seed)
+            self.ipmi = IpmiNode(node, seed=seed)
+
+    # -- the node-level energy source Slurm accounting uses --------------------
+
+    def slurm_energy_reading(self, t: float):
+        """Node energy as Slurm's accounting plugin source sees it."""
+        if self.pm_counters is not None:
+            return self.pm_counters.read_node(t)
+        if self.ipmi is not None:
+            return self.ipmi.read(t)
+        raise SensorError(
+            f"node {self.node.name} has no node-level energy source"
+        )
+
+    @property
+    def slurm_plugin_name(self) -> str:
+        """The AcctGatherEnergy backend name this telemetry maps to."""
+        return "pm_counters" if self.pm_counters is not None else "ipmi"

@@ -1,0 +1,23 @@
+"""Simulated Slurm: job lifecycle and energy accounting.
+
+Reproduces the measurement baseline the paper validates against: Slurm's
+``AcctGatherEnergy`` plugin integrates *node-level* energy from job start
+(submission/prolog) to job end, reading the same counters PMT's node-level
+backend reads (``pm_counters`` on Cray, IPMI elsewhere).  Because PMT
+instrumentation starts at the first time-step instead, Slurm >= PMT always,
+and the gap is the launch + application-setup energy — Figure 1's subject.
+"""
+
+from repro.slurm.job import JobDescriptor, JobAccounting
+from repro.slurm.energy_plugin import AcctGatherEnergyPlugin
+from repro.slurm.scheduler import SlurmController
+from repro.slurm.sacct import format_consumed_energy, sacct_report
+
+__all__ = [
+    "JobDescriptor",
+    "JobAccounting",
+    "AcctGatherEnergyPlugin",
+    "SlurmController",
+    "format_consumed_energy",
+    "sacct_report",
+]

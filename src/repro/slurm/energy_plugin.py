@@ -1,0 +1,119 @@
+"""The AcctGatherEnergy plugin.
+
+Slurm's energy accounting works off monotonic node-energy counters: the
+plugin records the counter at job start and job end; ``ConsumedEnergy`` is
+the difference, summed over the job's nodes.  The backend counter is
+``pm_counters`` on HPE/Cray systems and IPMI elsewhere — both already
+modelled in :mod:`repro.sensors`, so the plugin inherits their cadence and
+quantization (IPMI's 1 Hz tick is why small jobs account a few hundred
+joules of slop).
+
+The plugin also keeps periodic samples (``AcctGatherNodeFreq``-style) so a
+power profile per job is available, as on real systems.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SchedulerError
+from repro.hardware.clock import VirtualClock
+from repro.sensors.telemetry import NodeTelemetry
+
+#: Default accounting sample interval (Slurm's AcctGatherNodeFreq).
+DEFAULT_SAMPLE_INTERVAL_S = 10.0
+
+
+@dataclass(frozen=True)
+class EnergySample:
+    """One periodic node-power sample."""
+
+    timestamp: float
+    node_index: int
+    watts: float
+    joules: float
+
+
+class AcctGatherEnergyPlugin:
+    """Energy accounting over one job's node set."""
+
+    def __init__(
+        self,
+        telemetries: list[NodeTelemetry],
+        clock: VirtualClock,
+        sample_interval_s: float = DEFAULT_SAMPLE_INTERVAL_S,
+    ) -> None:
+        if not telemetries:
+            raise SchedulerError("energy plugin needs at least one node")
+        if sample_interval_s <= 0:
+            raise SchedulerError("sample interval must be positive")
+        self.telemetries = telemetries
+        self.clock = clock
+        self.sample_interval_s = float(sample_interval_s)
+        self._base_joules: list[float] | None = None
+        self._final_joules: list[float] | None = None
+        self.samples: list[EnergySample] = []
+        self._next_sample_t = 0.0
+        self._active = False
+        clock.on_advance(self._on_advance)
+
+    @property
+    def backend_name(self) -> str:
+        """Which AcctGatherEnergyType this node set maps to."""
+        return self.telemetries[0].slurm_plugin_name
+
+    def job_start(self) -> None:
+        """Record baseline counters (job allocated; prolog begins)."""
+        if self._active:
+            raise SchedulerError("energy plugin already started")
+        t = self.clock.now
+        self._base_joules = [
+            tel.slurm_energy_reading(t).joules for tel in self.telemetries
+        ]
+        self._final_joules = None
+        self._active = True
+        self._next_sample_t = t + self.sample_interval_s
+        self._take_samples(t)
+
+    def job_end(self) -> None:
+        """Record final counters (epilog complete)."""
+        if not self._active:
+            raise SchedulerError("energy plugin was not started")
+        t = self.clock.now
+        self._take_samples(t)
+        self._final_joules = [
+            tel.slurm_energy_reading(t).joules for tel in self.telemetries
+        ]
+        self._active = False
+
+    def _take_samples(self, t: float) -> None:
+        for i, tel in enumerate(self.telemetries):
+            reading = tel.slurm_energy_reading(t)
+            self.samples.append(
+                EnergySample(
+                    timestamp=t,
+                    node_index=i,
+                    watts=reading.watts,
+                    joules=reading.joules,
+                )
+            )
+
+    def _on_advance(self, now: float) -> None:
+        if not self._active:
+            return
+        while self._next_sample_t <= now:
+            self._take_samples(self._next_sample_t)
+            self._next_sample_t += self.sample_interval_s
+
+    def per_node_joules(self) -> list[float]:
+        """Counter differences per node (requires a completed job)."""
+        if self._base_joules is None or self._final_joules is None:
+            raise SchedulerError("job has not completed energy accounting")
+        return [
+            final - base
+            for base, final in zip(self._base_joules, self._final_joules)
+        ]
+
+    def consumed_energy_joules(self) -> float:
+        """Slurm's ConsumedEnergy for the job."""
+        return sum(self.per_node_joules())

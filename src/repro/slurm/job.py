@@ -1,0 +1,56 @@
+"""Job descriptors and accounting records."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import SchedulerError
+
+
+@dataclass(frozen=True)
+class JobDescriptor:
+    """What the user submits (the interesting subset of ``sbatch`` options)."""
+
+    name: str
+    num_nodes: int
+    #: Particles per rank, used to model application-init time (allocation
+    #: and host-to-device transfer grow with the local problem size).
+    particles_per_rank: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.num_nodes <= 0:
+            raise SchedulerError("a job needs at least one node")
+        if self.particles_per_rank < 0:
+            raise SchedulerError("particles_per_rank must be >= 0")
+
+
+@dataclass
+class JobAccounting:
+    """What ``sacct`` can report about a completed job."""
+
+    job_id: int
+    name: str
+    num_nodes: int
+    num_ranks: int
+    submit_time: float
+    start_time: float
+    app_start_time: float
+    app_end_time: float
+    end_time: float
+    #: Slurm's ConsumedEnergy: node-counter difference summed over nodes.
+    consumed_energy_joules: float
+    #: Per-node consumed energy (diagnostics).
+    per_node_joules: list[float] = field(default_factory=list)
+    #: Whatever the application returned (measurement records, etc.).
+    app_result: Any = None
+
+    @property
+    def elapsed(self) -> float:
+        """Wall time Slurm accounts for (submit to end)."""
+        return self.end_time - self.submit_time
+
+    @property
+    def setup_seconds(self) -> float:
+        """Launch plus application-init time PMT never sees."""
+        return self.app_start_time - self.submit_time

@@ -1,0 +1,43 @@
+"""``sacct``-style reporting.
+
+The paper notes that ``sacct`` is how users access the accounting data at
+the end of a job; we render the same fields (JobID, JobName, NNodes,
+Elapsed, ConsumedEnergy) with Slurm's energy suffix convention
+(``24.40M`` = 24.4 megajoules).
+"""
+
+from __future__ import annotations
+
+from repro.slurm.job import JobAccounting
+from repro.units import format_duration
+
+
+def format_consumed_energy(joules: float) -> str:
+    """Render energy the way sacct does (K/M/G suffixes, 2 decimals)."""
+    for factor, suffix in ((1e9, "G"), (1e6, "M"), (1e3, "K")):
+        if abs(joules) >= factor:
+            return f"{joules / factor:.2f}{suffix}"
+    return f"{joules:.0f}"
+
+
+def _format_elapsed(seconds: float) -> str:
+    whole = int(seconds)
+    hours, rem = divmod(whole, 3600)
+    minutes, secs = divmod(rem, 60)
+    return f"{hours:02d}:{minutes:02d}:{secs:02d}"
+
+
+def sacct_report(jobs: list[JobAccounting]) -> str:
+    """A multi-job sacct table."""
+    header = (
+        f"{'JobID':>10} {'JobName':>24} {'NNodes':>7} "
+        f"{'Elapsed':>10} {'ConsumedEnergy':>15}"
+    )
+    rows = [header, "-" * len(header)]
+    for job in jobs:
+        rows.append(
+            f"{job.job_id:>10} {job.name[:24]:>24} {job.num_nodes:>7} "
+            f"{_format_elapsed(job.elapsed):>10} "
+            f"{format_consumed_energy(job.consumed_energy_joules):>15}"
+        )
+    return "\n".join(rows)

@@ -1,0 +1,127 @@
+"""The Slurm controller: job lifecycle around an application callable.
+
+The lifecycle models what energy accounting actually integrates over:
+
+1. **launch** — prolog, container/binary startup, ``srun`` wire-up.  CPUs
+   lightly busy, GPUs *idle* (but still drawing idle power — on a LUMI-G
+   node that is several hundred watts of GPU idle draw, which is why setup
+   time matters for the Figure 1 gap).
+2. **application init** — IC generation, allocation, host-to-device copy.
+   CPUs and DRAM busy, GPUs touching memory.  Scales with the per-rank
+   problem size.
+3. **application run** — the caller-provided callable (the instrumented
+   simulation).  PMT measurement happens only inside this window.
+4. **teardown** — result flush + epilog.
+
+Energy accounting (``AcctGatherEnergy``) spans 1-4; PMT spans only 3's
+time-stepping loop.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable
+
+from repro.config import SystemConfig
+from repro.errors import SchedulerError
+from repro.mpi.engine import RankWork, SpmdEngine
+from repro.sensors.telemetry import NodeTelemetry
+from repro.slurm.energy_plugin import AcctGatherEnergyPlugin
+from repro.slurm.job import JobAccounting, JobDescriptor
+
+_job_ids = itertools.count(1000)
+
+
+class SlurmController:
+    """Runs jobs on a cluster with energy accounting."""
+
+    def __init__(
+        self,
+        engine: SpmdEngine,
+        telemetries: list[NodeTelemetry],
+        system: SystemConfig,
+    ) -> None:
+        cluster = engine.placement.cluster
+        if len(telemetries) != cluster.num_nodes:
+            raise SchedulerError(
+                f"need one telemetry per node: got {len(telemetries)} for "
+                f"{cluster.num_nodes} nodes"
+            )
+        self.engine = engine
+        self.telemetries = telemetries
+        self.system = system
+        self.clock = cluster.clock
+
+    def _uniform_phase(self, duration: float, **work_kwargs) -> None:
+        """Run all ranks through an identical setup/teardown phase."""
+        if duration <= 0:
+            return
+        works = [
+            RankWork(duration=duration, **work_kwargs)
+            for _ in range(self.engine.placement.size)
+        ]
+        self.engine.run_phase(works)
+
+    def run_job(
+        self,
+        job: JobDescriptor,
+        app: Callable[[], Any],
+    ) -> JobAccounting:
+        """Execute ``job`` with ``app`` as the application payload.
+
+        ``app`` is invoked after the launch+init phases; whatever it
+        returns lands in :attr:`JobAccounting.app_result`.
+        """
+        cluster = self.engine.placement.cluster
+        if job.num_nodes != cluster.num_nodes:
+            raise SchedulerError(
+                f"job requests {job.num_nodes} nodes but the allocation has "
+                f"{cluster.num_nodes}"
+            )
+        timing = self.system.slurm_timing
+        plugin = AcctGatherEnergyPlugin(self.telemetries, self.clock)
+
+        submit_time = self.clock.now
+        plugin.job_start()
+        start_time = self.clock.now
+
+        # Phase 1: prolog + launch. GPUs idle, CPUs lightly busy.
+        launch_s = timing.launch_base_s + timing.launch_per_node_s * job.num_nodes
+        self._uniform_phase(launch_s, cpu_share=0.04, mem_share=0.02)
+
+        # Phase 2: application init (ICs, allocation, H2D).
+        init_s = timing.init_base_s + timing.init_s_per_mparticle * (
+            job.particles_per_rank / 1e6
+        )
+        self._uniform_phase(
+            init_s,
+            cpu_share=0.12,
+            mem_share=0.10,
+            gpu_memory=0.25,
+        )
+
+        # Phase 3: the instrumented application.
+        app_start_time = self.clock.now
+        app_result = app()
+        app_end_time = self.clock.now
+
+        # Phase 4: teardown + epilog.
+        self._uniform_phase(timing.teardown_s, cpu_share=0.05)
+
+        plugin.job_end()
+        end_time = self.clock.now
+
+        return JobAccounting(
+            job_id=next(_job_ids),
+            name=job.name,
+            num_nodes=job.num_nodes,
+            num_ranks=self.engine.placement.size,
+            submit_time=submit_time,
+            start_time=start_time,
+            app_start_time=app_start_time,
+            app_end_time=app_end_time,
+            end_time=end_time,
+            consumed_energy_joules=plugin.consumed_energy_joules(),
+            per_node_joules=plugin.per_node_joules(),
+            app_result=app_result,
+        )

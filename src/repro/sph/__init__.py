@@ -1,0 +1,25 @@
+"""SPH-EXA-style smoothed particle hydrodynamics framework.
+
+This package is the application substrate of the reproduction: a genuine
+(small-N, NumPy-vectorized) SPH solver with the same functional structure
+as SPH-EXA — the function names of Figures 3 and 5 are the hook regions of
+the time-stepping loop here:
+
+``DomainDecompAndSync``, ``FindNeighbors``, ``Density``,
+``EquationOfState``, ``IADVelocityDivCurl``, ``MomentumEnergy``,
+``Gravity`` (Evrard), ``TurbulenceDriving`` (turbulence), ``Timestep``,
+``UpdateQuantities``, ``UpdateSmoothingLength``, ``EnergyConservation``.
+
+The solver is real physics (cubic-spline kernels, IAD gradients, Monaghan
+artificial viscosity, Barnes-Hut gravity over a cornerstone-style octree,
+Ornstein-Uhlenbeck turbulence driving); the *paper-scale* runs use
+:mod:`repro.sph.perfmodel` to map the same function sequence onto the
+simulated GPUs at billions of particles.
+"""
+
+from repro.sph.particles import ParticleSet
+from repro.sph.box import Box
+from repro.sph.hooks import ProfilingHooks
+from repro.sph.simulation import Simulation
+
+__all__ = ["ParticleSet", "Box", "ProfilingHooks", "Simulation"]

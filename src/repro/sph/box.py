@@ -1,0 +1,56 @@
+"""Simulation box with optional periodicity."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class Box:
+    """An axis-aligned cubic simulation box.
+
+    Parameters
+    ----------
+    length:
+        Edge length (the box spans ``[-length/2, length/2)`` per axis).
+    periodic:
+        Whether displacements use minimum-image convention and positions
+        wrap (turbulence boxes are periodic; the Evrard sphere is open).
+    """
+
+    length: float
+    periodic: bool = True
+
+    def __post_init__(self) -> None:
+        if self.length <= 0:
+            raise SimulationError(f"box length must be positive, got {self.length!r}")
+
+    @property
+    def lo(self) -> float:
+        """Lower corner coordinate."""
+        return -0.5 * self.length
+
+    @property
+    def hi(self) -> float:
+        """Upper corner coordinate."""
+        return 0.5 * self.length
+
+    def displacement(self, dr: np.ndarray) -> np.ndarray:
+        """Apply minimum-image convention to raw displacements ``dr``."""
+        if not self.periodic:
+            return dr
+        return dr - self.length * np.round(dr / self.length)
+
+    def wrap(self, pos: np.ndarray) -> np.ndarray:
+        """Wrap positions into the box (no-op for open boxes)."""
+        if not self.periodic:
+            return pos
+        return (pos - self.lo) % self.length + self.lo
+
+    def contains(self, pos: np.ndarray) -> np.ndarray:
+        """Boolean mask of positions inside the box."""
+        return np.all((pos >= self.lo) & (pos < self.hi), axis=-1)

@@ -1,0 +1,70 @@
+"""Low-overhead profiling hooks (Section 2, "Measurement of application
+energy consumption").
+
+SPH-EXA provides hooks around every loop function, normally used for
+timings; the paper attaches PMT reads to the same hooks.  The registry here
+is exactly that extension point: any subscriber with ``on_enter(name)`` /
+``on_exit(name)`` callbacks observes every instrumented region, so the
+energy profiler (:mod:`repro.instrumentation`) plugs in without the solver
+knowing about power measurement at all.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Iterator, Protocol
+
+from repro.errors import SimulationError
+
+
+class HookSubscriber(Protocol):
+    """What a hook subscriber must provide."""
+
+    def on_enter(self, name: str) -> None: ...
+
+    def on_exit(self, name: str) -> None: ...
+
+
+class ProfilingHooks:
+    """Region registry with host-time accounting and subscriber fan-out."""
+
+    def __init__(self) -> None:
+        self._subscribers: list[HookSubscriber] = []
+        self._stack: list[str] = []
+        #: Accumulated host seconds per region name.
+        self.timings: dict[str, float] = {}
+        #: Number of times each region ran.
+        self.counts: dict[str, int] = {}
+
+    def subscribe(self, subscriber: HookSubscriber) -> None:
+        """Attach a subscriber to all future regions."""
+        self._subscribers.append(subscriber)
+
+    @contextmanager
+    def region(self, name: str) -> Iterator[None]:
+        """Instrument one function-call region."""
+        if name in self._stack:
+            raise SimulationError(f"hook region {name!r} is already active")
+        self._stack.append(name)
+        for sub in self._subscribers:
+            sub.on_enter(name)
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - t0
+            self.timings[name] = self.timings.get(name, 0.0) + elapsed
+            self.counts[name] = self.counts.get(name, 0) + 1
+            for sub in reversed(self._subscribers):
+                sub.on_exit(name)
+            self._stack.pop()
+
+    @property
+    def active_region(self) -> str | None:
+        """The innermost active region, if any."""
+        return self._stack[-1] if self._stack else None
+
+    def region_names(self) -> list[str]:
+        """All regions seen so far, in first-seen order."""
+        return list(self.timings)

@@ -1,0 +1,22 @@
+"""Initial conditions for the paper's two production test cases."""
+
+from repro.sph.initial_conditions.turbulence import make_turbulence
+from repro.sph.initial_conditions.evrard import make_evrard
+from repro.sph.initial_conditions.sedov import make_sedov, sedov_front_radius
+from repro.sph.initial_conditions.noh import (
+    make_noh,
+    noh_post_shock_density,
+    noh_shock_speed,
+)
+from repro.sph.initial_conditions.sod import make_sod
+
+__all__ = [
+    "make_turbulence",
+    "make_evrard",
+    "make_sedov",
+    "sedov_front_radius",
+    "make_noh",
+    "noh_post_shock_density",
+    "noh_shock_speed",
+    "make_sod",
+]

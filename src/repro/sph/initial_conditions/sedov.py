@@ -1,0 +1,76 @@
+"""Sedov-Taylor blast wave initial conditions.
+
+The standard shock-capturing test (also one of SPH-EXA's stock test
+cases): a point explosion of energy E in a cold uniform gas.  The blast
+front follows the self-similar solution ::
+
+    R(t) = xi0 * (E t^2 / rho0)^(1/5)
+
+with xi0 ~= 1.152 for gamma = 5/3 in 3D.  Energy is deposited as internal
+energy into the particles inside a small smoothing radius around the
+origin (the usual SPH regularization of the delta function).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.sph.box import Box
+from repro.sph.initial_conditions.turbulence import make_turbulence
+
+#: Self-similar front coefficient for gamma = 5/3 in 3D.
+SEDOV_XI0 = 1.152
+
+
+def sedov_front_radius(
+    t: float, energy: float = 1.0, rho0: float = 1.0
+) -> float:
+    """Analytic blast-front radius at time ``t``."""
+    if t < 0:
+        raise SimulationError("time must be >= 0")
+    return SEDOV_XI0 * (energy * t**2 / rho0) ** 0.2
+
+
+def make_sedov(
+    n_side: int,
+    box_length: float = 1.0,
+    rho0: float = 1.0,
+    energy: float = 1.0,
+    u_background: float = 1e-6,
+    n_target: int = 100,
+    seed: int = 42,
+):
+    """Build a cold uniform gas with a central energy spike.
+
+    Returns ``(particles, box)``; the box is periodic (the test must end
+    before the front reaches the boundary).
+    """
+    if energy <= 0:
+        raise SimulationError("blast energy must be positive")
+    if u_background <= 0:
+        raise SimulationError("background energy must be positive")
+    ps, box = make_turbulence(
+        n_side=n_side,
+        box_length=box_length,
+        rho0=rho0,
+        sound_speed=1.0,  # overwritten below
+        n_target=n_target,
+        seed=seed,
+    )
+    ps.u[:] = u_background
+
+    # Deposit E into the particles within ~2 smoothing lengths of the
+    # origin, kernel-weighted (the standard smoothed point explosion).
+    r = np.linalg.norm(ps.pos, axis=1)
+    # Deposit radius: a couple of smoothing lengths, but never a sizable
+    # fraction of the box (low-resolution runs have huge h).
+    r_dep = min(2.0 * float(np.median(ps.h)), 0.2 * box_length)
+    inside = r < r_dep
+    if not np.any(inside):
+        inside = r <= np.partition(r, 7)[7]  # at least the central 8
+    weights = np.zeros(ps.n)
+    weights[inside] = (1.0 - (r[inside] / max(r[inside].max(), 1e-12)) ** 2) + 0.1
+    weights /= weights.sum()
+    ps.u = ps.u + energy * weights / ps.mass
+    return ps, box

@@ -1,0 +1,82 @@
+"""Sod shock-tube initial conditions in a 3D periodic box.
+
+The classic Riemann problem (Sod 1978): density/pressure 1.0/1.0 on the
+left half, 0.125/0.1 on the right, gas at rest.  Realized with
+equal-mass particles on two lattices whose spacings differ by a factor 2
+per axis (density ratio 8), as SPH shock tubes are normally set up.
+
+The periodic box carries a mirrored second discontinuity at the x
+boundary; comparisons against the exact solution must stay inside
+``|x| < 0.5 L - c_max t`` where the two problems have not yet interacted.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.sph.box import Box
+from repro.sph.initial_conditions.turbulence import smoothing_from_density
+from repro.sph.particles import ParticleSet
+from repro.sph.physics.eos import DEFAULT_GAMMA
+from repro.sph.riemann import SOD_LEFT, SOD_RIGHT
+
+
+def _lattice(n: tuple[int, int, int], lo: np.ndarray, hi: np.ndarray) -> np.ndarray:
+    axes = [
+        lo[d] + (np.arange(n[d]) + 0.5) * (hi[d] - lo[d]) / n[d]
+        for d in range(3)
+    ]
+    grid = np.stack(np.meshgrid(*axes, indexing="ij"), axis=-1)
+    return grid.reshape(-1, 3)
+
+
+def make_sod(
+    nx_left: int = 16,
+    box_length: float = 1.0,
+    gamma: float = DEFAULT_GAMMA,
+    n_target: int = 100,
+    jitter: float = 0.05,
+    seed: int = 42,
+):
+    """Build the Sod tube; returns ``(particles, box)``.
+
+    ``nx_left`` is the left lattice's x-resolution (must be even); the
+    transverse resolutions follow to keep spacing isotropic, and the right
+    lattice uses twice the spacing (density ratio 8 at equal mass).
+    """
+    if nx_left < 8 or nx_left % 2:
+        raise SimulationError("nx_left must be an even integer >= 8")
+    box = Box(length=box_length, periodic=True)
+    half = 0.5 * box_length
+    ny = nx_left // 2  # keeps the box reasonably thin transversally
+
+    left = _lattice(
+        (nx_left, ny, ny),
+        np.array([-half, -half, -half]),
+        np.array([0.0, half, half]),
+    )
+    right = _lattice(
+        (nx_left // 2, ny // 2, ny // 2),
+        np.array([0.0, -half, -half]),
+        np.array([half, half, half]),
+    )
+    pos = np.concatenate([left, right])
+    rng = np.random.default_rng(seed)
+    spacing_left = half / nx_left * 2.0
+    pos = box.wrap(pos + rng.uniform(-jitter, jitter, size=pos.shape) * spacing_left)
+
+    n = len(pos)
+    ps = ParticleSet(n)
+    ps.pos = pos
+    # Equal masses such that the left half has rho = 1.
+    volume_left = half * box_length * box_length
+    ps.mass[:] = SOD_LEFT.rho * volume_left / len(left)
+
+    on_left = ps.pos[:, 0] < 0.0
+    rho = np.where(on_left, SOD_LEFT.rho, SOD_RIGHT.rho)
+    p = np.where(on_left, SOD_LEFT.p, SOD_RIGHT.p)
+    ps.rho = rho
+    ps.u = p / ((gamma - 1.0) * rho)
+    ps.h = smoothing_from_density(ps.mass, ps.rho, n_target)
+    return ps, box

@@ -1,0 +1,59 @@
+"""Subsonic-turbulence initial conditions.
+
+A uniform periodic gas at rest: lattice positions with a small
+deterministic jitter (avoids the pathological symmetry of a perfect
+lattice), uniform density rho0, internal energy set from the desired
+sound speed.  Driving then stirs the box (``TurbulenceDriving``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.sph.box import Box
+from repro.sph.particles import ParticleSet
+from repro.sph.physics.eos import DEFAULT_GAMMA
+
+#: Jitter amplitude as a fraction of the lattice spacing.
+_JITTER = 0.2
+
+
+def smoothing_from_density(
+    mass: np.ndarray, rho: np.ndarray, n_target: int
+) -> np.ndarray:
+    """h such that a sphere of radius 2h holds ~n_target neighbour masses."""
+    return 0.5 * np.cbrt(3.0 * n_target * mass / (4.0 * np.pi * rho))
+
+
+def make_turbulence(
+    n_side: int,
+    box_length: float = 1.0,
+    rho0: float = 1.0,
+    sound_speed: float = 1.0,
+    gamma: float = DEFAULT_GAMMA,
+    n_target: int = 100,
+    seed: int = 42,
+) -> tuple[ParticleSet, Box]:
+    """Build an ``n_side^3``-particle uniform periodic gas at rest."""
+    if n_side < 2:
+        raise SimulationError("need at least 2 particles per side")
+    if rho0 <= 0 or sound_speed <= 0:
+        raise SimulationError("density and sound speed must be positive")
+    box = Box(length=box_length, periodic=True)
+    n = n_side**3
+    spacing = box_length / n_side
+    axis = box.lo + (np.arange(n_side) + 0.5) * spacing
+    grid = np.stack(np.meshgrid(axis, axis, axis, indexing="ij"), axis=-1)
+    pos = grid.reshape(n, 3)
+    rng = np.random.default_rng(seed)
+    pos = box.wrap(pos + rng.uniform(-_JITTER, _JITTER, size=pos.shape) * spacing)
+
+    ps = ParticleSet(n)
+    ps.pos = pos
+    ps.mass[:] = rho0 * box_length**3 / n
+    ps.rho[:] = rho0
+    # c^2 = gamma (gamma - 1) u  ->  u = c^2 / (gamma (gamma - 1)).
+    ps.u[:] = sound_speed**2 / (gamma * (gamma - 1.0))
+    ps.h = smoothing_from_density(ps.mass, ps.rho, n_target)
+    return ps, box

@@ -1,0 +1,69 @@
+"""The M4 cubic-spline kernel (Monaghan & Lattanzio 1985).
+
+In 3D with compact support ``2h``::
+
+    W(r, h) = (1 / (pi h^3)) * w(q),   q = r / h in [0, 2]
+
+    w(q) = 1 - 1.5 q^2 + 0.75 q^3          for 0 <= q < 1
+         = 0.25 (2 - q)^3                  for 1 <= q < 2
+         = 0                               for q >= 2
+
+All evaluations are vectorized over pair arrays; the gradient is returned
+as the scalar ``dW/dr`` so callers form vector gradients with their own
+(minimum-image) displacement unit vectors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_SIGMA_3D = 1.0 / np.pi
+
+#: Compact support radius in units of h.
+SUPPORT_RADIUS = 2.0
+
+
+class CubicSplineKernel:
+    """Vectorized 3D cubic-spline kernel."""
+
+    support = SUPPORT_RADIUS
+
+    @staticmethod
+    def w(q: np.ndarray) -> np.ndarray:
+        """Dimensionless kernel shape ``w(q)``."""
+        q = np.asarray(q, dtype=np.float64)
+        out = np.zeros_like(q)
+        inner = q < 1.0
+        outer = (q >= 1.0) & (q < 2.0)
+        qi = q[inner]
+        out[inner] = 1.0 - 1.5 * qi**2 + 0.75 * qi**3
+        qo = q[outer]
+        out[outer] = 0.25 * (2.0 - qo) ** 3
+        return out
+
+    @staticmethod
+    def dw(q: np.ndarray) -> np.ndarray:
+        """Dimensionless shape derivative ``dw/dq``."""
+        q = np.asarray(q, dtype=np.float64)
+        out = np.zeros_like(q)
+        inner = q < 1.0
+        outer = (q >= 1.0) & (q < 2.0)
+        qi = q[inner]
+        out[inner] = -3.0 * qi + 2.25 * qi**2
+        qo = q[outer]
+        out[outer] = -0.75 * (2.0 - qo) ** 2
+        return out
+
+    @classmethod
+    def value(cls, r: np.ndarray, h: np.ndarray) -> np.ndarray:
+        """``W(r, h)`` with full dimensional normalization."""
+        h = np.asarray(h, dtype=np.float64)
+        q = np.asarray(r, dtype=np.float64) / h
+        return _SIGMA_3D / h**3 * cls.w(q)
+
+    @classmethod
+    def grad_r(cls, r: np.ndarray, h: np.ndarray) -> np.ndarray:
+        """Scalar radial gradient ``dW/dr`` (negative inside the support)."""
+        h = np.asarray(h, dtype=np.float64)
+        q = np.asarray(r, dtype=np.float64) / h
+        return _SIGMA_3D / h**4 * cls.dw(q)

@@ -1,0 +1,90 @@
+"""Structure-of-arrays particle storage.
+
+SPH-EXA keeps particle fields as separate contiguous arrays (SoA) for
+coalesced GPU access; we mirror the layout with NumPy arrays, which is
+also the fast layout for vectorized host computation (see the
+hpc-parallel guides: views not copies, contiguous access).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+
+class ParticleSet:
+    """All per-particle fields of a simulation.
+
+    Fields
+    ------
+    pos, vel, acc : (n, 3) float64
+        Positions, velocities, accelerations.
+    mass, h, rho, u, p, c, du : (n,) float64
+        Mass, smoothing length, density, specific internal energy,
+        pressure, sound speed, internal-energy rate.
+    div_v, curl_v : (n,) float64
+        Velocity divergence/curl magnitude (for the Balsara AV switch).
+    c_iad : (n, 3, 3) float64
+        IAD correction matrices (inverse of the tau moment matrix).
+    nc : (n,) int64
+        Neighbor counts from the last neighbor search.
+    """
+
+    _VEC_FIELDS = ("pos", "vel", "acc")
+    _SCALAR_FIELDS = ("mass", "h", "rho", "u", "p", "c", "du", "div_v", "curl_v")
+
+    def __init__(self, n: int) -> None:
+        if n <= 0:
+            raise SimulationError(f"particle count must be positive, got {n!r}")
+        self.n = int(n)
+        for name in self._VEC_FIELDS:
+            setattr(self, name, np.zeros((self.n, 3), dtype=np.float64))
+        for name in self._SCALAR_FIELDS:
+            setattr(self, name, np.zeros(self.n, dtype=np.float64))
+        self.c_iad = np.zeros((self.n, 3, 3), dtype=np.float64)
+        self.nc = np.zeros(self.n, dtype=np.int64)
+
+    # -- diagnostics -----------------------------------------------------------
+
+    def total_mass(self) -> float:
+        """Sum of particle masses."""
+        return float(np.sum(self.mass))
+
+    def kinetic_energy(self) -> float:
+        """Total kinetic energy ``sum(m v^2 / 2)``."""
+        return float(0.5 * np.sum(self.mass * np.sum(self.vel**2, axis=1)))
+
+    def internal_energy(self) -> float:
+        """Total internal energy ``sum(m u)``."""
+        return float(np.sum(self.mass * self.u))
+
+    def momentum(self) -> np.ndarray:
+        """Total linear momentum vector."""
+        return np.sum(self.mass[:, None] * self.vel, axis=0)
+
+    def angular_momentum(self) -> np.ndarray:
+        """Total angular momentum vector about the origin."""
+        return np.sum(self.mass[:, None] * np.cross(self.pos, self.vel), axis=0)
+
+    def validate(self) -> None:
+        """Raise if any physical field is in an invalid state."""
+        if not np.all(np.isfinite(self.pos)):
+            raise SimulationError("non-finite particle positions")
+        if not np.all(np.isfinite(self.vel)):
+            raise SimulationError("non-finite particle velocities")
+        if np.any(self.mass <= 0):
+            raise SimulationError("non-positive particle masses")
+        if np.any(self.h <= 0):
+            raise SimulationError("non-positive smoothing lengths")
+        if np.any(self.u < 0):
+            raise SimulationError("negative internal energy")
+
+    def reorder(self, order: np.ndarray) -> None:
+        """Permute every field by ``order`` (SFC sort during domain sync)."""
+        if len(order) != self.n:
+            raise SimulationError(
+                f"reorder permutation has length {len(order)}, expected {self.n}"
+            )
+        for name in self._VEC_FIELDS + self._SCALAR_FIELDS + ("c_iad", "nc"):
+            setattr(self, name, getattr(self, name)[order])

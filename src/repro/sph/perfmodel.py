@@ -1,0 +1,167 @@
+"""Roofline performance/power model for paper-scale SPH runs.
+
+Maps one loop function at ``n`` particles per rank onto a simulated GPU as
+an execution time plus device-load levels, splitting the function into a
+**kernel sub-phase** (GPU busy) and an optional **communication sub-phase**
+(GPU idle, NIC busy).
+
+Time model (per function, per rank)::
+
+    sat      = n / (n + SATURATION_PARTICLES)          # throughput-bound share
+    t_work   = (flops n / eff_f) [ sat / F(f) + (1 - sat) / F(f_nom) ]
+    t_mem    = bytes n / (B eff_b)                     # compute-clock insensitive
+    t_kernel = max(t_work, t_mem)
+
+Only the *saturated* part of the compute time scales with the clock: at
+small n, kernels are latency-bound and down-clocking barely slows them.
+
+Power model::
+
+    occupancy = t_work / t_kernel
+    u_c = occupancy * (stall_floor + (1 - stall_floor) * sat) * U_peak
+    u_m = U_mem * t_mem / t_kernel
+
+Resident-but-stalled warps burn ``stall_floor`` of full dynamic compute
+power — this is why memory-/latency-bound phases shed a lot of power when
+the clock drops (their EDP improves, Figures 4/5) while compute-bound
+kernels stretch in time and do not benefit.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+from repro.hardware.gpu import GpuDevice
+from repro.mpi.costmodel import CommCostModel
+from repro.sph import calibration as cal
+from repro.sph.calibration import FUNCTION_COSTS, FunctionCost
+
+
+@dataclass(frozen=True)
+class FunctionPhases:
+    """One rank's modelled execution of one function."""
+
+    name: str
+    kernel_seconds: float
+    comm_seconds: float
+    gpu_compute: float
+    gpu_memory: float
+    cpu_share: float
+    mem_share: float
+    nic_share: float
+
+    @property
+    def total_seconds(self) -> float:
+        """Kernel plus (non-overlapped) communication time."""
+        return self.kernel_seconds + self.comm_seconds
+
+
+class SphPerformanceModel:
+    """Evaluates :class:`FunctionPhases` for ranks of a placed job."""
+
+    def __init__(
+        self,
+        cost_model: CommCostModel,
+        particles_per_rank: float,
+        jitter: float = cal.DURATION_JITTER,
+        seed: int = 0,
+    ) -> None:
+        if particles_per_rank <= 0:
+            raise SimulationError("particles_per_rank must be positive")
+        self.cost_model = cost_model
+        self.n = float(particles_per_rank)
+        self.jitter = jitter
+        self.seed = seed
+
+    # -- helpers ----------------------------------------------------------------
+
+    def _jitter_factor(self, function: str, rank: int, step: int) -> float:
+        """Deterministic +-jitter from a stable hash (load imbalance)."""
+        if self.jitter == 0:
+            return 1.0
+        digest = hashlib.blake2s(
+            f"{self.seed}:{function}:{rank}:{step}".encode(), digest_size=8
+        ).digest()
+        unit = int.from_bytes(digest, "little") / 2**64  # [0, 1)
+        return 1.0 + self.jitter * (2.0 * unit - 1.0)
+
+    def _comm_seconds(
+        self, cost: FunctionCost, rank: int, kernel_seconds: float
+    ) -> float:
+        if cost.comm == "none":
+            return 0.0
+        if cost.comm == "allreduce":
+            return self.cost_model.allreduce_time(cost.comm_payload_bytes)
+        # "domain": tree metadata allgather + particle redistribution +
+        # halo exchange with the SFC-adjacent ranks.
+        meta = self.cost_model.allgather_time(32_768.0)
+        moved = cal.REDISTRIBUTION_FRACTION * self.n * cal.HALO_BYTES_PER_PARTICLE
+        p = self.cost_model.size
+        redistribute = self.cost_model.alltoallv_time(
+            rank,
+            {
+                (rank + 1) % p: 0.5 * moved,
+                (rank - 1) % p: 0.5 * moved,
+            }
+            if p > 1
+            else {},
+        )
+        surface = 6.0 * cal.HALO_LAYER_SPACINGS * self.n ** (2.0 / 3.0)
+        halo_bytes = surface * cal.HALO_BYTES_PER_PARTICLE
+        halos = self.cost_model.halo_exchange_time(
+            rank,
+            {
+                (rank + 1) % p: 0.5 * halo_bytes,
+                (rank - 1) % p: 0.5 * halo_bytes,
+            }
+            if p > 1
+            else {},
+        )
+        host_side = cal.DOMAIN_SYNC_HOST_FRACTION * kernel_seconds
+        return meta + redistribute + halos + host_side
+
+    # -- main entry ---------------------------------------------------------------
+
+    def phases(
+        self, function: str, gpu: GpuDevice, rank: int, step: int
+    ) -> FunctionPhases:
+        """Model one rank's execution of ``function`` at this step."""
+        try:
+            cost = FUNCTION_COSTS[function]
+        except KeyError:
+            raise SimulationError(f"no cost model for function {function!r}") from None
+        eff = cal.efficiency(gpu.spec.vendor, function)
+
+        f_now = gpu.peak_flops_now() * eff.flop_efficiency
+        f_nom = gpu.spec.peak_flops * eff.flop_efficiency
+        bw = gpu.peak_bandwidth * eff.bandwidth_efficiency
+
+        sat = self.n / (self.n + cal.SATURATION_PARTICLES)
+        work_flops = cost.flops_per_particle * self.n
+        t_work = work_flops * (sat / f_now + (1.0 - sat) / f_nom)
+        t_mem = cost.bytes_per_particle * self.n / bw
+        t_kernel = max(t_work, t_mem, 1e-6)
+
+        occupancy = min(t_work / t_kernel, 1.0)
+        stall = cost.stall_power_floor
+        u_c = min(
+            cal.PEAK_COMPUTE_UTILIZATION
+            * occupancy
+            * (stall + (1.0 - stall) * sat),
+            1.0,
+        )
+        u_m = min(cal.PEAK_MEMORY_UTILIZATION * t_mem / t_kernel, 1.0)
+
+        jit = self._jitter_factor(function, rank, step)
+        return FunctionPhases(
+            name=function,
+            kernel_seconds=t_kernel * jit,
+            comm_seconds=self._comm_seconds(cost, rank, t_kernel),
+            gpu_compute=u_c,
+            gpu_memory=u_m,
+            cpu_share=cost.cpu_share,
+            mem_share=cost.mem_share,
+            nic_share=0.6 if cost.comm != "none" else 0.02,
+        )

@@ -1,0 +1,21 @@
+"""SPH physics kernels — one module per SPH-EXA loop function."""
+
+from repro.sph.physics.density import compute_density
+from repro.sph.physics.eos import ideal_gas_eos
+from repro.sph.physics.iad import compute_iad_and_divcurl
+from repro.sph.physics.momentum_energy import compute_momentum_energy
+from repro.sph.physics.timestep import compute_timestep
+from repro.sph.physics.positions import update_quantities
+from repro.sph.physics.smoothing_length import update_smoothing_length
+from repro.sph.physics.conservation import energy_conservation
+
+__all__ = [
+    "compute_density",
+    "ideal_gas_eos",
+    "compute_iad_and_divcurl",
+    "compute_momentum_energy",
+    "compute_timestep",
+    "update_quantities",
+    "update_smoothing_length",
+    "energy_conservation",
+]

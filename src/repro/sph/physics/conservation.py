@@ -1,0 +1,44 @@
+"""Conserved-quantity diagnostics (the ``EnergyConservation`` function).
+
+Computes total kinetic, internal and (optionally) gravitational energy
+plus linear/angular momentum.  In the distributed code these are global
+reductions — cheap, communication-bound, and present in every step's
+function breakdown.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sph.particles import ParticleSet
+
+
+@dataclass(frozen=True)
+class ConservationTotals:
+    """Global conserved quantities at one step."""
+
+    kinetic: float
+    internal: float
+    potential: float
+    momentum: np.ndarray
+    angular_momentum: np.ndarray
+
+    @property
+    def total_energy(self) -> float:
+        """Kinetic + internal + potential."""
+        return self.kinetic + self.internal + self.potential
+
+
+def energy_conservation(
+    ps: ParticleSet, potential: float = 0.0
+) -> ConservationTotals:
+    """Gather the conservation diagnostics of the current state."""
+    return ConservationTotals(
+        kinetic=ps.kinetic_energy(),
+        internal=ps.internal_energy(),
+        potential=potential,
+        momentum=ps.momentum(),
+        angular_momentum=ps.angular_momentum(),
+    )

@@ -1,0 +1,31 @@
+"""Density summation (the ``Density`` loop function).
+
+Gather formulation with each particle's own smoothing length::
+
+    rho_i = m_i W(0, h_i) + sum_j m_j W(|r_ij|, h_i)
+
+The kernel's compact support makes out-of-range pair terms vanish, so the
+union pair list can be used unmasked.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sph.kernels.cubic_spline import CubicSplineKernel
+from repro.sph.neighbors import PairList
+from repro.sph.particles import ParticleSet
+
+
+def compute_density(
+    ps: ParticleSet, pairs: PairList, kernel=CubicSplineKernel
+) -> None:
+    """Fill ``ps.rho`` from the pair list."""
+    w = kernel.value(pairs.r, ps.h[pairs.i])
+    contrib = ps.mass[pairs.j] * w
+    rho = np.bincount(pairs.i, weights=contrib, minlength=ps.n).astype(
+        np.float64
+    )
+    # Self-contribution W(0, h_i) = 1 / (pi h^3).
+    rho += ps.mass * kernel.value(np.zeros(ps.n), ps.h)
+    ps.rho = rho

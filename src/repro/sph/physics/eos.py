@@ -1,0 +1,25 @@
+"""Equation of state (the ``EquationOfState`` loop function).
+
+Ideal gas::
+
+    P = (gamma - 1) rho u        c = sqrt(gamma (gamma - 1) u)
+
+Both test cases use gamma = 5/3 (monatomic gas), as in SPH-EXA.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.sph.particles import ParticleSet
+
+DEFAULT_GAMMA = 5.0 / 3.0
+
+
+def ideal_gas_eos(ps: ParticleSet, gamma: float = DEFAULT_GAMMA) -> None:
+    """Fill ``ps.p`` and ``ps.c`` from density and internal energy."""
+    if gamma <= 1.0:
+        raise SimulationError(f"adiabatic index must exceed 1, got {gamma!r}")
+    ps.p = (gamma - 1.0) * ps.rho * ps.u
+    ps.c = np.sqrt(gamma * (gamma - 1.0) * np.maximum(ps.u, 0.0))

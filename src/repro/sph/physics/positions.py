@@ -1,0 +1,28 @@
+"""State update (the ``UpdateQuantities`` loop function).
+
+Semi-implicit (symplectic) Euler, as in SPH-EXA's position update::
+
+    v <- v + a dt
+    x <- x + v dt        (wrapped into periodic boxes)
+    u <- u + du dt       (floored at a tiny positive value)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.sph.box import Box
+from repro.sph.particles import ParticleSet
+
+#: Lowest admissible specific internal energy (keeps the EOS well-posed).
+U_FLOOR = 1e-12
+
+
+def update_quantities(ps: ParticleSet, dt: float, box: Box) -> None:
+    """Advance velocities, positions and internal energy by ``dt``."""
+    if dt <= 0:
+        raise SimulationError(f"time step must be positive, got {dt!r}")
+    ps.vel = ps.vel + ps.acc * dt
+    ps.pos = box.wrap(ps.pos + ps.vel * dt)
+    ps.u = np.maximum(ps.u + ps.du * dt, U_FLOOR)

@@ -1,0 +1,33 @@
+"""Smoothing-length adaptation (the ``UpdateSmoothingLength`` function).
+
+SPH-EXA's fixed-point update toward a target neighbour count::
+
+    h <- h * 0.5 * (1 + (n_target / n_current)^(1/3))
+
+The cube root reflects neighbour count scaling as h^3; the 0.5 averaging
+damps oscillations.  Counts of zero are treated as one so isolated
+particles grow their support instead of dividing by zero.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.sph.particles import ParticleSet
+
+DEFAULT_NEIGHBOR_TARGET = 100
+
+
+def update_smoothing_length(
+    ps: ParticleSet,
+    n_target: int = DEFAULT_NEIGHBOR_TARGET,
+    h_max: float | None = None,
+) -> None:
+    """Adapt ``ps.h`` toward the target neighbour count (uses ``ps.nc``)."""
+    if n_target <= 0:
+        raise SimulationError("neighbour target must be positive")
+    counts = np.maximum(ps.nc, 1)
+    ps.h = ps.h * 0.5 * (1.0 + np.cbrt(n_target / counts))
+    if h_max is not None:
+        np.minimum(ps.h, h_max, out=ps.h)

@@ -1,0 +1,51 @@
+"""Time-step selection (the ``Timestep`` loop function).
+
+Courant condition on the signal velocity plus an acceleration criterion::
+
+    dt_courant = C_cour * min_i ( 2 h_i / v_sig_max,i )
+    dt_accel   = C_acc  * min_i sqrt( h_i / |a_i| )
+    dt         = min(dt_courant, dt_accel, growth_cap * dt_prev)
+
+In the distributed code this minimum is a global MPI allreduce — one of
+the reasons ``Timestep`` appears as a (cheap, communication-bound)
+function in the Figure 3/5 breakdowns.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.sph.particles import ParticleSet
+
+DEFAULT_COURANT = 0.2
+DEFAULT_ACCEL = 0.25
+
+#: dt may grow by at most this factor per step (SPH-EXA uses ~1.1).
+GROWTH_CAP = 1.1
+
+
+def compute_timestep(
+    ps: ParticleSet,
+    dt_prev: float | None = None,
+    courant: float = DEFAULT_COURANT,
+    accel_coeff: float = DEFAULT_ACCEL,
+) -> float:
+    """The next time step for the particle set."""
+    v_sig = getattr(ps, "v_sig_max", None)
+    if v_sig is None:
+        raise SimulationError(
+            "compute_timestep requires v_sig_max (run MomentumEnergy first)"
+        )
+    dt_courant = courant * float(np.min(2.0 * ps.h / np.maximum(v_sig, 1e-300)))
+    acc_norm = np.linalg.norm(ps.acc, axis=1)
+    with np.errstate(divide="ignore"):
+        dt_accel = accel_coeff * float(
+            np.sqrt(np.min(ps.h / np.maximum(acc_norm, 1e-300)))
+        )
+    dt = min(dt_courant, dt_accel)
+    if dt_prev is not None and dt_prev > 0:
+        dt = min(dt, GROWTH_CAP * dt_prev)
+    if not np.isfinite(dt) or dt <= 0:
+        raise SimulationError(f"invalid time step {dt!r}")
+    return dt

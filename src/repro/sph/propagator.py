@@ -1,0 +1,196 @@
+"""The time-stepping loop (SPH-EXA's propagator).
+
+One :meth:`Propagator.step` runs the full function sequence of Figures 3
+and 5, each call wrapped in a profiling hook region::
+
+    DomainDecompAndSync -> FindNeighbors -> Density -> EquationOfState
+    -> IADVelocityDivCurl -> MomentumEnergy [-> Gravity | TurbulenceDriving]
+    -> Timestep -> UpdateQuantities -> UpdateSmoothingLength
+    -> EnergyConservation
+
+The hydro propagator (turbulence) includes driving; the gravity propagator
+(Evrard) includes Barnes-Hut self-gravity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sph.box import Box
+from repro.sph.cornerstone.domain import DomainDecomposition
+from repro.sph.driving import TurbulenceDriver
+from repro.sph.gravity import BarnesHutGravity, direct_sum_potential
+from repro.sph.hooks import ProfilingHooks
+from repro.sph.kernels.cubic_spline import CubicSplineKernel
+from repro.sph.neighbors import find_neighbors
+from repro.sph.particles import ParticleSet
+from repro.sph.physics import (
+    compute_density,
+    compute_iad_and_divcurl,
+    compute_momentum_energy,
+    compute_timestep,
+    energy_conservation,
+    ideal_gas_eos,
+    update_quantities,
+    update_smoothing_length,
+)
+from repro.sph.physics.conservation import ConservationTotals
+from repro.sph.physics.eos import DEFAULT_GAMMA
+
+#: Canonical function inventory (paper Figures 3 and 5).
+HYDRO_FUNCTIONS = (
+    "DomainDecompAndSync",
+    "FindNeighbors",
+    "Density",
+    "EquationOfState",
+    "IADVelocityDivCurl",
+    "MomentumEnergy",
+    "Timestep",
+    "UpdateQuantities",
+    "UpdateSmoothingLength",
+    "EnergyConservation",
+)
+
+TURBULENCE_FUNCTIONS = HYDRO_FUNCTIONS[:6] + ("TurbulenceDriving",) + HYDRO_FUNCTIONS[6:]
+GRAVITY_FUNCTIONS = HYDRO_FUNCTIONS[:6] + ("Gravity",) + HYDRO_FUNCTIONS[6:]
+
+
+@dataclass(frozen=True)
+class StepStats:
+    """Diagnostics of one completed step."""
+
+    step: int
+    dt: float
+    n_pairs: int
+    mean_neighbors: float
+    totals: ConservationTotals
+
+
+class Propagator:
+    """Time integrator over a particle set.
+
+    Parameters
+    ----------
+    box:
+        Simulation box.
+    n_ranks:
+        Rank count for the domain decomposition (1 for serial runs).
+    driver:
+        Optional turbulence driver (Subsonic Turbulence case).
+    gravity:
+        Whether to include Barnes-Hut self-gravity (Evrard case).
+    """
+
+    def __init__(
+        self,
+        box: Box,
+        n_ranks: int = 1,
+        gamma: float = DEFAULT_GAMMA,
+        av_alpha: float = 1.0,
+        n_target: int = 100,
+        courant: float = 0.2,
+        driver: TurbulenceDriver | None = None,
+        gravity: bool = False,
+        gravity_theta: float = 0.6,
+        gravity_eps: float = 0.02,
+        use_grad_h: bool = False,
+        kernel=CubicSplineKernel,
+    ) -> None:
+        self.box = box
+        self.domain = DomainDecomposition(box, n_ranks)
+        self.gamma = gamma
+        self.av_alpha = av_alpha
+        self.n_target = n_target
+        self.courant = courant
+        self.driver = driver
+        self.gravity = gravity
+        self.gravity_theta = gravity_theta
+        self.gravity_eps = gravity_eps
+        self.use_grad_h = use_grad_h
+        self.kernel = kernel
+        self._step = 0
+        self._dt_prev: float | None = None
+
+    @property
+    def function_sequence(self) -> tuple[str, ...]:
+        """The loop functions this propagator runs, in order."""
+        if self.driver is not None:
+            return TURBULENCE_FUNCTIONS
+        if self.gravity:
+            return GRAVITY_FUNCTIONS
+        return HYDRO_FUNCTIONS
+
+    def step(self, ps: ParticleSet, hooks: ProfilingHooks) -> StepStats:
+        """Advance the particle set by one time step."""
+        with hooks.region("DomainDecompAndSync"):
+            self.domain.sync(ps)
+
+        with hooks.region("FindNeighbors"):
+            pairs = find_neighbors(ps.pos, ps.h, self.box)
+            ps.nc = pairs.neighbor_counts()
+
+        with hooks.region("Density"):
+            compute_density(ps, pairs, self.kernel)
+
+        with hooks.region("EquationOfState"):
+            ideal_gas_eos(ps, self.gamma)
+
+        with hooks.region("IADVelocityDivCurl"):
+            compute_iad_and_divcurl(ps, pairs, self.kernel)
+
+        with hooks.region("MomentumEnergy"):
+            omega = None
+            if self.use_grad_h:
+                from repro.sph.physics.grad_h import compute_omega
+
+                omega = compute_omega(ps, pairs, self.kernel)
+            compute_momentum_energy(
+                ps, pairs, self.kernel, av_alpha=self.av_alpha, omega=omega
+            )
+
+        potential = 0.0
+        if self.gravity:
+            with hooks.region("Gravity"):
+                tree = BarnesHutGravity(
+                    ps.pos,
+                    ps.mass,
+                    theta=self.gravity_theta,
+                    eps=self.gravity_eps,
+                )
+                ps.acc = ps.acc + tree.acceleration()
+                potential = direct_sum_potential(
+                    ps.pos, ps.mass, eps=self.gravity_eps
+                )
+
+        if self.driver is not None:
+            with hooks.region("TurbulenceDriving"):
+                dt_drive = self._dt_prev if self._dt_prev else 1e-3
+                self.driver.step(dt_drive)
+                ps.acc = ps.acc + self.driver.acceleration(ps.pos)
+
+        with hooks.region("Timestep"):
+            dt = compute_timestep(ps, self._dt_prev, courant=self.courant)
+
+        with hooks.region("UpdateQuantities"):
+            update_quantities(ps, dt, self.box)
+
+        with hooks.region("UpdateSmoothingLength"):
+            # Periodic minimum-image convention requires the kernel support
+            # (2h) to stay below half the box; open boxes need no cap.
+            h_max = 0.99 * self.box.length / 4.0 if self.box.periodic else None
+            update_smoothing_length(ps, self.n_target, h_max=h_max)
+
+        with hooks.region("EnergyConservation"):
+            totals = energy_conservation(ps, potential=potential)
+
+        self._dt_prev = dt
+        self._step += 1
+        return StepStats(
+            step=self._step,
+            dt=dt,
+            n_pairs=pairs.n_pairs,
+            mean_neighbors=float(np.mean(ps.nc)),
+            totals=totals,
+        )

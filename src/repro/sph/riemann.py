@@ -1,0 +1,173 @@
+"""Exact Riemann solver for the 1D ideal-gas Euler equations (Toro 2009).
+
+The analytic oracle for shock-tube validation: given left/right states
+``(rho, u, p)``, the star-region pressure/velocity are found by Newton
+iteration on the pressure function, and the full self-similar solution
+``W(x/t)`` is sampled — rarefaction fans, contact discontinuity and
+shocks, all exact.  Used by the Sod-tube tests to grade the SPH solver's
+shock capturing against ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class GasState:
+    """A constant 1D gas state."""
+
+    rho: float
+    u: float
+    p: float
+
+    def __post_init__(self) -> None:
+        if self.rho <= 0 or self.p <= 0:
+            raise SimulationError("density and pressure must be positive")
+
+    def sound_speed(self, gamma: float) -> float:
+        """Adiabatic sound speed."""
+        return float(np.sqrt(gamma * self.p / self.rho))
+
+
+def _pressure_function(
+    p: float, state: GasState, gamma: float
+) -> tuple[float, float]:
+    """Toro's f(p, W_k) and its derivative df/dp."""
+    a = state.sound_speed(gamma)
+    if p > state.p:  # shock branch
+        big_a = 2.0 / ((gamma + 1.0) * state.rho)
+        big_b = (gamma - 1.0) / (gamma + 1.0) * state.p
+        sqrt_term = np.sqrt(big_a / (p + big_b))
+        f = (p - state.p) * sqrt_term
+        df = sqrt_term * (1.0 - 0.5 * (p - state.p) / (p + big_b))
+    else:  # rarefaction branch
+        exponent = (gamma - 1.0) / (2.0 * gamma)
+        f = (
+            2.0
+            * a
+            / (gamma - 1.0)
+            * ((p / state.p) ** exponent - 1.0)
+        )
+        df = 1.0 / (state.rho * a) * (p / state.p) ** (-(gamma + 1.0) / (2.0 * gamma))
+    return float(f), float(df)
+
+
+def solve_star_region(
+    left: GasState, right: GasState, gamma: float = 5.0 / 3.0
+) -> tuple[float, float]:
+    """The star-region pressure and velocity ``(p*, u*)``."""
+    du = right.u - left.u
+    # Vacuum check (pressure positivity condition).
+    a_l, a_r = left.sound_speed(gamma), right.sound_speed(gamma)
+    if 2.0 * (a_l + a_r) / (gamma - 1.0) <= du:
+        raise SimulationError("vacuum is generated; no star region exists")
+    # Initial guess: two-rarefaction approximation (robust and positive).
+    z = (gamma - 1.0) / (2.0 * gamma)
+    p = (
+        (a_l + a_r - 0.5 * (gamma - 1.0) * du)
+        / (a_l / left.p**z + a_r / right.p**z)
+    ) ** (1.0 / z)
+    p = max(p, 1e-12)
+    for _ in range(100):
+        f_l, df_l = _pressure_function(p, left, gamma)
+        f_r, df_r = _pressure_function(p, right, gamma)
+        delta = (f_l + f_r + du) / (df_l + df_r)
+        p_new = max(p - delta, 1e-14)
+        if abs(p_new - p) < 1e-12 * (p + p_new):
+            p = p_new
+            break
+        p = p_new
+    f_l, _ = _pressure_function(p, left, gamma)
+    f_r, _ = _pressure_function(p, right, gamma)
+    u_star = 0.5 * (left.u + right.u) + 0.5 * (f_r - f_l)
+    return float(p), float(u_star)
+
+
+def sample_solution(
+    left: GasState,
+    right: GasState,
+    xi: np.ndarray,
+    gamma: float = 5.0 / 3.0,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Sample ``(rho, u, p)`` of the exact solution at ``xi = x / t``."""
+    xi = np.asarray(xi, dtype=np.float64)
+    p_star, u_star = solve_star_region(left, right, gamma)
+    rho = np.empty_like(xi)
+    vel = np.empty_like(xi)
+    prs = np.empty_like(xi)
+
+    gm1, gp1 = gamma - 1.0, gamma + 1.0
+    a_l, a_r = left.sound_speed(gamma), right.sound_speed(gamma)
+
+    left_side = xi <= u_star
+    # --- left of the contact -------------------------------------------------
+    if p_star > left.p:  # left shock
+        s_l = left.u - a_l * np.sqrt(
+            gp1 / (2 * gamma) * p_star / left.p + gm1 / (2 * gamma)
+        )
+        rho_star_l = left.rho * (
+            (p_star / left.p + gm1 / gp1) / (gm1 / gp1 * p_star / left.p + 1.0)
+        )
+        pre = xi < s_l
+        region = left_side & pre
+        rho[region], vel[region], prs[region] = left.rho, left.u, left.p
+        region = left_side & ~pre
+        rho[region], vel[region], prs[region] = rho_star_l, u_star, p_star
+    else:  # left rarefaction
+        a_star_l = a_l * (p_star / left.p) ** (gm1 / (2 * gamma))
+        head = left.u - a_l
+        tail = u_star - a_star_l
+        rho_star_l = left.rho * (p_star / left.p) ** (1.0 / gamma)
+        pre = xi < head
+        region = left_side & pre
+        rho[region], vel[region], prs[region] = left.rho, left.u, left.p
+        fan = left_side & (xi >= head) & (xi <= tail)
+        factor = 2.0 / gp1 + gm1 / (gp1 * a_l) * (left.u - xi[fan])
+        rho[fan] = left.rho * factor ** (2.0 / gm1)
+        vel[fan] = 2.0 / gp1 * (a_l + gm1 / 2.0 * left.u + xi[fan])
+        prs[fan] = left.p * factor ** (2.0 * gamma / gm1)
+        post = left_side & (xi > tail)
+        rho[post], vel[post], prs[post] = rho_star_l, u_star, p_star
+
+    right_side = ~left_side
+    # --- right of the contact ------------------------------------------------
+    if p_star > right.p:  # right shock
+        s_r = right.u + a_r * np.sqrt(
+            gp1 / (2 * gamma) * p_star / right.p + gm1 / (2 * gamma)
+        )
+        rho_star_r = right.rho * (
+            (p_star / right.p + gm1 / gp1)
+            / (gm1 / gp1 * p_star / right.p + 1.0)
+        )
+        post = xi > s_r
+        region = right_side & post
+        rho[region], vel[region], prs[region] = right.rho, right.u, right.p
+        region = right_side & ~post
+        rho[region], vel[region], prs[region] = rho_star_r, u_star, p_star
+    else:  # right rarefaction
+        a_star_r = a_r * (p_star / right.p) ** (gm1 / (2 * gamma))
+        head = right.u + a_r
+        tail = u_star + a_star_r
+        rho_star_r = right.rho * (p_star / right.p) ** (1.0 / gamma)
+        post = xi > head
+        region = right_side & post
+        rho[region], vel[region], prs[region] = right.rho, right.u, right.p
+        fan = right_side & (xi >= tail) & (xi <= head)
+        factor = 2.0 / gp1 - gm1 / (gp1 * a_r) * (right.u - xi[fan])
+        rho[fan] = right.rho * factor ** (2.0 / gm1)
+        vel[fan] = 2.0 / gp1 * (-a_r + gm1 / 2.0 * right.u + xi[fan])
+        prs[fan] = right.p * factor ** (2.0 * gamma / gm1)
+        pre = right_side & (xi < tail)
+        rho[pre], vel[pre], prs[pre] = rho_star_r, u_star, p_star
+
+    return rho, vel, prs
+
+
+#: The classic Sod (1978) initial states.
+SOD_LEFT = GasState(rho=1.0, u=0.0, p=1.0)
+SOD_RIGHT = GasState(rho=0.125, u=0.0, p=0.1)

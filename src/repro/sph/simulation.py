@@ -1,0 +1,49 @@
+"""Simulation front end for the in-process (small-N) solver."""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+from repro.sph.hooks import ProfilingHooks
+from repro.sph.particles import ParticleSet
+from repro.sph.propagator import Propagator, StepStats
+
+
+class Simulation:
+    """Owns a particle set, a propagator and the profiling hooks.
+
+    >>> ps, box = make_turbulence(n_side=8)
+    >>> sim = Simulation(ps, Propagator(box, driver=TurbulenceDriver(box)))
+    >>> stats = sim.run(10)
+    """
+
+    def __init__(
+        self,
+        ps: ParticleSet,
+        propagator: Propagator,
+        hooks: ProfilingHooks | None = None,
+    ) -> None:
+        self.ps = ps
+        self.propagator = propagator
+        self.hooks = hooks if hooks is not None else ProfilingHooks()
+        self.history: list[StepStats] = []
+
+    def step(self) -> StepStats:
+        """Advance one step and record its diagnostics."""
+        stats = self.propagator.step(self.ps, self.hooks)
+        self.history.append(stats)
+        return stats
+
+    def run(self, num_steps: int, validate_every: int = 0) -> list[StepStats]:
+        """Advance ``num_steps`` steps; optionally validate particle state."""
+        if num_steps <= 0:
+            raise SimulationError("num_steps must be positive")
+        for k in range(num_steps):
+            self.step()
+            if validate_every and (k + 1) % validate_every == 0:
+                self.ps.validate()
+        return self.history[-num_steps:]
+
+    @property
+    def time(self) -> float:
+        """Accumulated physical (code-unit) time."""
+        return sum(s.dt for s in self.history)

@@ -1,0 +1,36 @@
+"""Energy-aware dynamic frequency tuning (the paper's future work).
+
+The conclusion of the paper: *"Future work includes the utilization of the
+gathered data per-function and employing a variety of dynamic approaches
+from the literature that trade-off high performance and energy
+consumption."*  This package implements that step on top of the
+measurement infrastructure:
+
+* :mod:`repro.tuning.policy` — frequency policies: static, and a
+  per-function oracle built from a measured frequency sweep;
+* :mod:`repro.tuning.dynamic` — an instrumented application that switches
+  the GPU clock at function boundaries (with a switching-latency cost);
+* :mod:`repro.tuning.optimizer` — the end-to-end loop: sweep, build the
+  per-function policy, run it, and report savings against the static
+  baseline.
+"""
+
+from repro.tuning.policy import (
+    FrequencyPolicy,
+    PerFunctionPolicy,
+    StaticPolicy,
+    build_oracle_policy,
+)
+from repro.tuning.dynamic import DVFS_SWITCH_LATENCY_S, DynamicDvfsApplication
+from repro.tuning.optimizer import TuningReport, tune_per_function
+
+__all__ = [
+    "FrequencyPolicy",
+    "StaticPolicy",
+    "PerFunctionPolicy",
+    "build_oracle_policy",
+    "DynamicDvfsApplication",
+    "DVFS_SWITCH_LATENCY_S",
+    "TuningReport",
+    "tune_per_function",
+]

@@ -1,0 +1,76 @@
+"""Instrumented application with per-function dynamic DVFS.
+
+Identical to :class:`~repro.sph.scaled.ScaledSphApplication` except that
+before every loop function each rank's GPU clock is set to the policy's
+frequency for that function.  Frequency transitions are not free: each
+actual switch costs ``DVFS_SWITCH_LATENCY_S`` with the GPU idle, which is
+why naive per-function switching can lose on very short functions — the
+policy has to earn the switch.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+from repro.instrumentation.profiler import EnergyProfiler
+from repro.mpi.engine import RankWork, SpmdEngine
+from repro.sph.perfmodel import SphPerformanceModel
+from repro.sph.scaled import ScaledSphApplication
+from repro.tuning.policy import FrequencyPolicy
+from repro.units import mhz
+
+#: Time to reprogram the GPU clock (driver + PLL relock), per switch.
+DVFS_SWITCH_LATENCY_S = 0.010
+
+
+class DynamicDvfsApplication(ScaledSphApplication):
+    """Paper-scale run that re-clocks the GPU at function boundaries."""
+
+    def __init__(
+        self,
+        engine: SpmdEngine,
+        profiler: EnergyProfiler,
+        perfmodel: SphPerformanceModel,
+        functions: tuple[str, ...],
+        num_steps: int,
+        test_case_name: str,
+        policy: FrequencyPolicy,
+        switch_latency_s: float = DVFS_SWITCH_LATENCY_S,
+    ) -> None:
+        super().__init__(
+            engine, profiler, perfmodel, functions, num_steps, test_case_name
+        )
+        if switch_latency_s < 0:
+            raise SimulationError("switch latency must be >= 0")
+        self.policy = policy
+        self.switch_latency_s = switch_latency_s
+        #: Number of actual clock transitions performed.
+        self.switch_count = 0
+
+    def _snap_to_supported(self, freq_mhz: float) -> float:
+        """Round the requested frequency to the nearest supported step."""
+        gpu = self.engine.placement.gpu_of(0)
+        supported = gpu.frequency.supported_hz
+        return min(supported, key=lambda f: abs(f - mhz(freq_mhz)))
+
+    def _apply_policy(self, function: str) -> None:
+        requested = self.policy.frequency_for(function)
+        if requested is None:
+            return  # the policy has no opinion: keep the running clock
+        target_hz = self._snap_to_supported(requested)
+        placement = self.engine.placement
+        if placement.gpu_of(0).frequency.current_hz == target_hz:
+            return
+        # Pay the reprogramming latency with every GPU idle, then switch.
+        if self.switch_latency_s > 0:
+            idle = [
+                RankWork(duration=self.switch_latency_s, cpu_share=0.02)
+                for _ in range(placement.size)
+            ]
+            self.engine.run_phase(idle)
+        for rank in range(placement.size):
+            placement.gpu_of(rank).set_frequency(target_hz)
+        self.switch_count += 1
+
+    def _run_function(self, function: str, step: int) -> None:
+        self._apply_policy(function)
+        super()._run_function(function, step)

@@ -1,0 +1,188 @@
+"""End-to-end per-function DVFS tuning.
+
+The workflow the paper's conclusion sketches, made concrete:
+
+1. **Sweep** — run the instrumented application at each available static
+   frequency and gather per-function time/energy (exactly the Figure 5
+   data).
+2. **Decide** — build the per-function oracle policy (min-EDP or
+   energy-under-slowdown-constraint).
+3. **Apply** — re-run with dynamic per-function switching and measure the
+   outcome with the same PMT instrumentation.
+4. **Report** — savings against the nominal clock and against the best
+   *static* frequency, i.e. whether per-function switching beats anything
+   a whole-run setting could achieve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.aggregate import function_seconds, function_totals
+from repro.analysis.edp import run_edp
+from repro.config import SystemConfig, TestCaseConfig
+from repro.experiments.runner import functions_for, run_scaled_experiment
+from repro.hardware.cluster import Cluster
+from repro.hardware.clock import VirtualClock
+from repro.instrumentation.profiler import EnergyProfiler
+from repro.instrumentation.records import RunMeasurements
+from repro.mpi.costmodel import CommCostModel
+from repro.mpi.engine import SpmdEngine
+from repro.mpi.mapping import RankPlacement
+from repro.sensors.telemetry import NodeTelemetry
+from repro.sph.perfmodel import SphPerformanceModel
+from repro.tuning.dynamic import DynamicDvfsApplication
+from repro.tuning.policy import (
+    FunctionSweepPoint,
+    PerFunctionPolicy,
+    build_oracle_policy,
+)
+from repro.units import mhz
+
+
+@dataclass(frozen=True)
+class TuningReport:
+    """Outcome of one tuning campaign."""
+
+    policy: PerFunctionPolicy
+    baseline_mhz: float
+    baseline_edp: float
+    baseline_seconds: float
+    best_static_mhz: float
+    best_static_edp: float
+    dynamic_edp: float
+    dynamic_seconds: float
+    dynamic_run: RunMeasurements
+    switch_count: int
+
+    @property
+    def edp_vs_baseline(self) -> float:
+        """Dynamic EDP / nominal-clock EDP (< 1 means savings)."""
+        return self.dynamic_edp / self.baseline_edp
+
+    @property
+    def edp_vs_best_static(self) -> float:
+        """Dynamic EDP / best static-frequency EDP."""
+        return self.dynamic_edp / self.best_static_edp
+
+
+def _sweep_points(run: RunMeasurements) -> list[FunctionSweepPoint]:
+    energy = function_totals(run, "gpu")
+    seconds = function_seconds(run)
+    return [
+        FunctionSweepPoint(
+            function=name,
+            freq_mhz=run.gpu_freq_mhz,
+            seconds=seconds[name],
+            joules=energy[name],
+        )
+        for name in energy
+    ]
+
+
+def run_dynamic(
+    system: SystemConfig,
+    test_case: TestCaseConfig,
+    num_cards: int,
+    policy,
+    num_steps: int,
+    particles_per_rank: float,
+    seed: int = 0,
+) -> tuple[RunMeasurements, int]:
+    """Execute one dynamically re-clocked run; returns (run, switches)."""
+    num_nodes = system.nodes_for_cards(num_cards)
+    clock = VirtualClock()
+    cluster = Cluster(
+        system.name.lower(), clock, system.node_spec, num_nodes, system.network
+    )
+    start_mhz = getattr(policy, "default_mhz", None)
+    if start_mhz is None:
+        start_mhz = policy.frequency_for("") or 1410.0
+    cluster.set_gpu_frequency(mhz(start_mhz))
+    telemetries = [
+        NodeTelemetry(node, system, clock, seed=seed + i)
+        for i, node in enumerate(cluster.nodes)
+    ]
+    placement = RankPlacement(cluster)
+    engine = SpmdEngine(placement)
+    perfmodel = SphPerformanceModel(
+        CommCostModel(system.network, placement), particles_per_rank, seed=seed
+    )
+    profiler = EnergyProfiler(placement, telemetries, system)
+    app = DynamicDvfsApplication(
+        engine=engine,
+        profiler=profiler,
+        perfmodel=perfmodel,
+        functions=functions_for(test_case),
+        num_steps=num_steps,
+        test_case_name=test_case.name,
+        policy=policy,
+    )
+    run = app.run()
+    return run, app.switch_count
+
+
+def tune_per_function(
+    system: SystemConfig,
+    test_case: TestCaseConfig,
+    num_cards: int,
+    freqs_mhz: tuple[float, ...],
+    num_steps: int,
+    particles_per_rank: float,
+    objective: str = "edp",
+    max_slowdown: float | None = None,
+    tolerance: float = 0.04,
+    seed: int = 0,
+) -> TuningReport:
+    """The full sweep -> decide -> apply -> report loop."""
+    baseline_mhz = max(freqs_mhz)
+    points: list[FunctionSweepPoint] = []
+    static_edp: dict[float, float] = {}
+    baseline_seconds = 0.0
+    for freq in freqs_mhz:
+        result = run_scaled_experiment(
+            system,
+            test_case,
+            num_cards,
+            gpu_freq_mhz=freq,
+            num_steps=num_steps,
+            particles_per_rank=particles_per_rank,
+            seed=seed,
+        )
+        points.extend(_sweep_points(result.run))
+        static_edp[freq] = run_edp(result.run)
+        if freq == baseline_mhz:
+            baseline_seconds = result.run.app_seconds
+
+    policy = build_oracle_policy(
+        points,
+        baseline_mhz,
+        objective=objective,
+        max_slowdown=max_slowdown,
+        tolerance=tolerance,
+        # Functions shorter than 2 % of the run are switch-exempt: their
+        # sweep data is quantization noise and switches cost real time.
+        min_function_seconds=0.02 * baseline_seconds,
+    )
+    dynamic_run, switches = run_dynamic(
+        system,
+        test_case,
+        num_cards,
+        policy,
+        num_steps,
+        particles_per_rank,
+        seed=seed,
+    )
+    best_static_mhz = min(static_edp, key=static_edp.get)
+    return TuningReport(
+        policy=policy,
+        baseline_mhz=baseline_mhz,
+        baseline_edp=static_edp[baseline_mhz],
+        baseline_seconds=baseline_seconds,
+        best_static_mhz=best_static_mhz,
+        best_static_edp=static_edp[best_static_mhz],
+        dynamic_edp=run_edp(dynamic_run),
+        dynamic_seconds=dynamic_run.app_seconds,
+        dynamic_run=dynamic_run,
+        switch_count=switches,
+    )

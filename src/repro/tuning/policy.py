@@ -1,0 +1,149 @@
+"""Frequency policies for energy-aware execution.
+
+A policy answers one question per loop function: *which GPU compute clock
+should this function run at?*  The oracle builder consumes per-function
+measurements from a frequency sweep (what the PMT instrumentation
+gathers) and picks, per function, the frequency minimizing a figure of
+merit — EDP by default, or energy under a time-dilation constraint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol
+
+from repro.errors import ConfigurationError
+
+
+class FrequencyPolicy(Protocol):
+    """Maps a loop function to the GPU clock it should run at.
+
+    ``None`` means "don't care — keep whatever clock is currently set"
+    (used for functions too short to earn a switch).
+    """
+
+    def frequency_for(self, function: str) -> float | None:
+        """The compute frequency in MHz for ``function`` (or ``None``)."""
+        ...
+
+
+@dataclass(frozen=True)
+class StaticPolicy:
+    """One frequency for everything (the paper's whole-run down-scaling)."""
+
+    freq_mhz: float
+
+    def frequency_for(self, function: str) -> float | None:
+        return self.freq_mhz
+
+
+@dataclass(frozen=True)
+class PerFunctionPolicy:
+    """An explicit function -> frequency table.
+
+    Functions absent from the table get ``default_mhz``, or — with
+    ``inherit_missing`` — no opinion at all (the running clock is kept),
+    which is the right call for sub-second functions whose sweep
+    measurements are quantization noise and whose switch cost would
+    exceed any possible saving.
+    """
+
+    default_mhz: float
+    table: dict[str, float] = field(default_factory=dict)
+    inherit_missing: bool = False
+
+    def frequency_for(self, function: str) -> float | None:
+        if function in self.table:
+            return self.table[function]
+        return None if self.inherit_missing else self.default_mhz
+
+
+@dataclass(frozen=True)
+class FunctionSweepPoint:
+    """One function's measurements at one frequency."""
+
+    function: str
+    freq_mhz: float
+    seconds: float
+    joules: float
+
+    @property
+    def edp(self) -> float:
+        return self.joules * self.seconds
+
+
+def build_oracle_policy(
+    points: list[FunctionSweepPoint],
+    baseline_mhz: float,
+    objective: str = "edp",
+    max_slowdown: float | None = None,
+    tolerance: float = 0.0,
+    min_function_seconds: float = 0.0,
+) -> PerFunctionPolicy:
+    """Pick the best frequency per function from sweep measurements.
+
+    Parameters
+    ----------
+    points:
+        Per-(function, frequency) measurements from the sweep.
+    baseline_mhz:
+        The nominal frequency (used as the default and as the reference
+        for the slowdown constraint).
+    objective:
+        ``"edp"`` (default) or ``"energy"``.
+    max_slowdown:
+        If set, frequencies whose function time exceeds
+        ``max_slowdown * t(baseline)`` are excluded — the
+        performance-constrained energy minimization from the DVFS
+        literature.
+    tolerance:
+        Among frequencies whose objective is within ``(1 + tolerance)`` of
+        the best, prefer the *lowest* frequency.  Near-ties across
+        functions then collapse onto common frequencies, which minimizes
+        clock switches at function boundaries (each switch costs real
+        time, see :mod:`repro.tuning.dynamic`) and hedges against sweep
+        measurement noise on short functions.
+    min_function_seconds:
+        Functions whose *baseline* accumulated time is below this are left
+        out of the table entirely (the dynamic runner keeps the running
+        clock for them): their sweep data is sensor-quantization noise and
+        a 10 ms switch would dwarf any saving.
+    """
+    if objective not in ("edp", "energy"):
+        raise ConfigurationError(f"unknown objective {objective!r}")
+    if tolerance < 0:
+        raise ConfigurationError("tolerance must be >= 0")
+    by_function: dict[str, list[FunctionSweepPoint]] = {}
+    for point in points:
+        by_function.setdefault(point.function, []).append(point)
+
+    table: dict[str, float] = {}
+    for function, candidates in by_function.items():
+        baseline = next(
+            (p for p in candidates if p.freq_mhz == baseline_mhz), None
+        )
+        if baseline is None:
+            raise ConfigurationError(
+                f"sweep for {function!r} lacks the baseline frequency "
+                f"{baseline_mhz} MHz"
+            )
+        if baseline.seconds < min_function_seconds:
+            continue  # too short to earn a switch; inherit at run time
+        feasible = [
+            p
+            for p in candidates
+            if max_slowdown is None or p.seconds <= max_slowdown * baseline.seconds
+        ]
+        if not feasible:
+            feasible = [baseline]
+        key = (lambda p: p.edp) if objective == "edp" else (lambda p: p.joules)
+        best_value = key(min(feasible, key=key))
+        near_best = [
+            p for p in feasible if key(p) <= (1.0 + tolerance) * best_value
+        ]
+        table[function] = min(near_best, key=lambda p: p.freq_mhz).freq_mhz
+    return PerFunctionPolicy(
+        default_mhz=baseline_mhz,
+        table=table,
+        inherit_missing=min_function_seconds > 0,
+    )

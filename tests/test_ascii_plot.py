@@ -1,0 +1,91 @@
+"""Tests for the terminal chart renderers."""
+
+import pytest
+
+from repro.analysis.ascii_plot import bar_chart, line_chart, share_bars
+from repro.errors import AnalysisError
+
+
+class TestBarChart:
+    def test_longest_bar_is_max(self):
+        text = bar_chart([("a", 10.0), ("b", 5.0)], width=20)
+        lines = text.split("\n")
+        assert lines[0].count("#") == 20
+        assert lines[1].count("#") == 10
+
+    def test_labels_aligned(self):
+        text = bar_chart([("short", 1.0), ("muchlonger", 2.0)])
+        lines = text.split("\n")
+        assert lines[0].index("|") == lines[1].index("|")
+
+    def test_values_printed(self):
+        assert "12.5" in bar_chart([("x", 12.5)])
+
+    def test_reference_scaling(self):
+        text = bar_chart([("x", 50.0)], width=10, reference=100.0)
+        assert text.count("#") == 5
+
+    def test_unit_suffix(self):
+        assert "50%" in bar_chart([("x", 50.0)], unit="%")
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            bar_chart([])
+
+    def test_zero_scale_rejected(self):
+        with pytest.raises(AnalysisError):
+            bar_chart([("x", 0.0)])
+
+    def test_overflow_clipped_to_width(self):
+        text = bar_chart([("x", 300.0)], width=10, reference=100.0)
+        assert text.count("#") == 10
+
+
+class TestLineChart:
+    def test_marks_present_per_series(self):
+        text = line_chart(
+            {
+                "A": {1.0: 1.0, 2.0: 2.0},
+                "B": {1.0: 2.0, 2.0: 1.0},
+            }
+        )
+        assert "o" in text and "x" in text
+        assert "o=A" in text and "x=B" in text
+
+    def test_axis_labels(self):
+        text = line_chart({"A": {0.0: 0.5, 10.0: 1.5}})
+        assert "1.5" in text
+        assert "0.5" in text
+        assert "10" in text
+
+    def test_flat_series_does_not_crash(self):
+        text = line_chart({"A": {1.0: 1.0, 2.0: 1.0}})
+        assert "o" in text
+
+    def test_single_point(self):
+        text = line_chart({"A": {1.0: 1.0}})
+        assert "o" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            line_chart({})
+
+    def test_monotone_series_renders_monotone(self):
+        """Higher y values occupy higher rows."""
+        text = line_chart({"A": {0.0: 0.0, 1.0: 1.0}}, height=10, width=20)
+        rows = [
+            k for k, line in enumerate(text.split("\n")) if "o" in line
+        ]
+        cols = [
+            line.index("o") for line in text.split("\n") if "o" in line
+        ]
+        # The later (higher-x) point is in a higher row (smaller index).
+        assert rows[0] < rows[-1]
+        assert cols[0] > cols[-1]
+
+
+class TestShareBars:
+    def test_percent_rendering(self):
+        text = share_bars({"GPU": 0.75, "CPU": 0.10})
+        assert "GPU" in text and "75" in text
+        assert "%" in text

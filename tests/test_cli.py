@@ -1,0 +1,108 @@
+"""Tests for the command-line interface (reduced step counts)."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestStaticCommands:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "LUMI-G" in out
+        assert "miniHPC" in out
+
+    def test_backends(self, capsys):
+        assert main(["backends"]) == 0
+        out = capsys.readouterr().out.split()
+        assert {"cray", "nvml", "rapl", "rocm", "dummy"} <= set(out)
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_no_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestExperimentCommands:
+    def test_fig1(self, capsys):
+        code = main(
+            ["fig1", "--systems", "CSCS-A100", "--cards", "8", "--steps", "3"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "PMT/Slurm" in out
+        assert "CSCS-A100" in out
+
+    def test_fig2(self, capsys):
+        assert main(["fig2", "--cards", "8", "--steps", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "LUMI-Turb" in out
+        assert "GPU" in out
+
+    def test_fig3(self, capsys):
+        assert main(["fig3", "--cards", "8", "--steps", "2", "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "MomentumEnergy" in out
+
+    def test_fig4(self, capsys):
+        code = main(
+            [
+                "fig4", "--sides", "200", "--freqs", "1410", "1005",
+                "--steps", "3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "200^3" in out
+        assert "1.000" in out
+
+    def test_fig5(self, capsys):
+        code = main(["fig5", "--freqs", "1410", "1005", "--steps", "3"])
+        assert code == 0
+        assert "DomainDecompAndSync" in capsys.readouterr().out
+
+    def test_report_writes_measurements(self, capsys, tmp_path):
+        out_file = tmp_path / "run.json"
+        code = main(
+            [
+                "report", "--system", "CSCS-A100", "--cards", "8",
+                "--steps", "3", "--out", str(out_file),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ConsumedEnergy" in out
+        assert "PMT/Slurm" in out
+        assert out_file.exists()
+        from repro.instrumentation import RunMeasurements
+
+        run = RunMeasurements.read(out_file)
+        assert run.system_name == "CSCS-A100"
+
+    def test_tune(self, capsys):
+        code = main(
+            ["tune", "--freqs", "1410", "1005", "--steps", "5", "--side", "300"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "EDP vs baseline" in out
+
+    def test_invalid_card_count_reports_error(self, capsys):
+        code = main(["fig1", "--systems", "LUMI-G", "--cards", "6", "--steps", "1"])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_compare(self, capsys):
+        code = main(
+            [
+                "compare", "--system-a", "CSCS-A100", "--system-b", "LUMI-G",
+                "--cards", "8", "--steps", "3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Optimization targets" in out
+        assert "MomentumEnergy" in out

@@ -1,0 +1,122 @@
+"""Tests for the composite PMT backend and the efficiency metrics."""
+
+import pytest
+
+import repro.pmt as pmt
+from repro.analysis.metrics import (
+    EfficiencyMetrics,
+    pareto_front,
+    rank_operating_points,
+    run_metrics,
+)
+from repro.config import CSCS_A100, SUBSONIC_TURBULENCE
+from repro.errors import AnalysisError, BackendError
+from repro.experiments.runner import run_scaled_experiment
+from repro.hardware import Node, VirtualClock
+from repro.pmt import PMT
+from repro.sensors import NodeTelemetry
+
+
+@pytest.fixture
+def node_stack():
+    clock = VirtualClock()
+    node = Node("n0", clock, CSCS_A100.node_spec)
+    telemetry = NodeTelemetry(node, CSCS_A100, clock)
+    return clock, node, telemetry
+
+
+class TestCompositeBackend:
+    def test_registered(self):
+        assert "composite" in pmt.available_backends()
+
+    def test_primary_is_sum_of_children(self, node_stack):
+        clock, node, telemetry = node_stack
+        gpu = pmt.create("nvml", telemetry=telemetry, device_index=0)
+        cpu = pmt.create("rapl", telemetry=telemetry)
+        meter = pmt.create("composite", meters={"gpu0": gpu, "cpu": cpu})
+
+        start = meter.read()
+        node.gpus[0].set_load(1.0, 0.8)
+        node.cpu.set_load(0.5, 0.3)
+        clock.advance(20.0)
+        node.all_idle()
+        end = meter.read()
+
+        total = PMT.joules(start, end)
+        per_child = PMT.joules(start, end, "gpu0.gpu0") + PMT.joules(
+            start, end, "cpu.package-0"
+        )
+        assert total == pytest.approx(per_child, rel=1e-9)
+        truth = node.cards[0].energy_between(0, 20.0) + node.cpu.energy_between(
+            0, 20.0
+        )
+        assert total == pytest.approx(truth, rel=0.05)
+
+    def test_child_names_prefixed(self, node_stack):
+        _, _, telemetry = node_stack
+        gpu = pmt.create("nvml", telemetry=telemetry, device_index=1)
+        meter = pmt.create("composite", meters={"g": gpu})
+        assert meter.read().names() == ("total", "g.gpu1")
+        assert meter.children == ("g",)
+
+    def test_empty_rejected(self):
+        with pytest.raises(BackendError):
+            pmt.create("composite", meters={})
+
+    def test_mixed_clocks_rejected(self, node_stack):
+        _, _, telemetry = node_stack
+        gpu = pmt.create("nvml", telemetry=telemetry, device_index=0)
+        other = pmt.create("dummy")  # its own private clock
+        with pytest.raises(BackendError):
+            pmt.create("composite", meters={"a": gpu, "b": other})
+
+
+class TestEfficiencyMetrics:
+    def test_derived_quantities(self):
+        m = EfficiencyMetrics(energy_joules=100.0, seconds=4.0)
+        assert m.edp == 400.0
+        assert m.ed2p == 1600.0
+        assert m.average_watts == 25.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(AnalysisError):
+            EfficiencyMetrics(energy_joules=-1.0, seconds=1.0)
+        with pytest.raises(AnalysisError):
+            EfficiencyMetrics(energy_joules=1.0, seconds=0.0)
+
+    def test_run_metrics_from_experiment(self):
+        result = run_scaled_experiment(
+            CSCS_A100, SUBSONIC_TURBULENCE, 8, num_steps=3
+        )
+        m = run_metrics(result.run)
+        assert m.energy_joules > 0
+        assert m.seconds == pytest.approx(result.run.app_seconds)
+        assert m.average_watts > 100  # 8 GPUs plus CPUs
+
+    def test_ranking_objectives(self):
+        fast_hungry = EfficiencyMetrics(energy_joules=200.0, seconds=1.0)
+        slow_frugal = EfficiencyMetrics(energy_joules=100.0, seconds=3.0)
+        table = {1410.0: fast_hungry, 1005.0: slow_frugal}
+        assert rank_operating_points(table, "time")[0] == 1410.0
+        assert rank_operating_points(table, "energy")[0] == 1005.0
+        assert rank_operating_points(table, "edp")[0] == 1410.0  # 200 < 300
+        assert rank_operating_points(table, "ed2p")[0] == 1410.0
+
+    def test_ranking_unknown_objective(self):
+        with pytest.raises(AnalysisError):
+            rank_operating_points({}, "vibes")
+
+    def test_pareto_front(self):
+        table = {
+            1410.0: EfficiencyMetrics(energy_joules=200.0, seconds=1.0),
+            1200.0: EfficiencyMetrics(energy_joules=150.0, seconds=2.0),
+            1005.0: EfficiencyMetrics(energy_joules=100.0, seconds=3.0),
+            # Dominated: slower AND hungrier than the 1200 point.
+            900.0: EfficiencyMetrics(energy_joules=180.0, seconds=4.0),
+        }
+        front = pareto_front(table)
+        assert front == [1005.0, 1200.0, 1410.0]
+
+    def test_pareto_single_point(self):
+        table = {1410.0: EfficiencyMetrics(energy_joules=1.0, seconds=1.0)}
+        assert pareto_front(table) == [1410.0]

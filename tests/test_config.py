@@ -1,0 +1,102 @@
+"""Tests for the Table 1 system and test-case configurations."""
+
+import pytest
+
+from repro.config import (
+    A100_SWEEP_FREQS_MHZ,
+    CSCS_A100,
+    EVRARD_COLLAPSE,
+    LUMI_G,
+    MINIHPC,
+    SUBSONIC_TURBULENCE,
+    SYSTEMS,
+    TEST_CASES,
+    get_system,
+)
+from repro.errors import ConfigurationError
+from repro.units import mhz
+
+
+class TestSystems:
+    def test_three_systems(self):
+        assert set(SYSTEMS) == {"LUMI-G", "CSCS-A100", "miniHPC"}
+
+    def test_get_system(self):
+        assert get_system("LUMI-G") is LUMI_G
+
+    def test_get_unknown_system(self):
+        with pytest.raises(ConfigurationError):
+            get_system("frontier")
+
+    def test_lumi_table1_row(self):
+        assert LUMI_G.node_spec.cpu.cores == 64
+        assert LUMI_G.node_spec.num_gpu_units == 8
+        assert LUMI_G.node_spec.gpu.gcds_per_card == 2
+        assert LUMI_G.node_spec.gpu.memory_gib == 64.0
+        assert LUMI_G.node_spec.gpu.nominal_freq_hz == mhz(1700)
+        assert LUMI_G.node_spec.gpu.memory_freq_hz == mhz(1600)
+        assert LUMI_G.pmt_backend == "cray"
+        assert LUMI_G.has_memory_sensor
+
+    def test_cscs_table1_row(self):
+        assert CSCS_A100.node_spec.num_gpu_units == 4
+        assert CSCS_A100.node_spec.gpu.memory_gib == 80.0
+        assert CSCS_A100.node_spec.gpu.nominal_freq_hz == mhz(1410)
+        assert CSCS_A100.node_spec.gpu.memory_freq_hz == mhz(1593)
+        assert not CSCS_A100.has_memory_sensor
+        assert not CSCS_A100.node_spec.gpu_freq_user_controllable
+
+    def test_minihpc_table1_row(self):
+        assert MINIHPC.node_spec.num_gpu_units == 2
+        assert MINIHPC.node_spec.gpu.memory_gib == 40.0
+        assert MINIHPC.node_spec.gpu_freq_user_controllable
+        assert MINIHPC.max_nodes == 1
+
+    def test_ranks_per_node_is_gpu_units(self):
+        assert LUMI_G.ranks_per_node == 8
+        assert CSCS_A100.ranks_per_node == 4
+
+    def test_cards_per_node(self):
+        assert LUMI_G.cards_per_node == 4
+        assert CSCS_A100.cards_per_node == 4
+        assert MINIHPC.cards_per_node == 2
+
+    def test_nodes_for_cards(self):
+        assert LUMI_G.nodes_for_cards(48) == 12
+        assert CSCS_A100.nodes_for_cards(8) == 2
+
+    def test_nodes_for_cards_invalid(self):
+        with pytest.raises(ConfigurationError):
+            LUMI_G.nodes_for_cards(6)  # not a multiple of 4 cards/node
+        with pytest.raises(ConfigurationError):
+            MINIHPC.nodes_for_cards(4)  # exceeds the single node
+
+    def test_sweep_frequencies_span_paper_range(self):
+        assert max(A100_SWEEP_FREQS_MHZ) == 1410
+        assert min(A100_SWEEP_FREQS_MHZ) == 1005
+        for f in A100_SWEEP_FREQS_MHZ:
+            assert mhz(f) in MINIHPC.node_spec.gpu.supported_freqs_hz
+
+
+class TestTestCases:
+    def test_two_cases(self):
+        assert set(TEST_CASES) == {"Subsonic Turbulence", "Evrard Collapse"}
+
+    def test_turbulence_parameters(self):
+        assert SUBSONIC_TURBULENCE.particles_per_gpu == 150e6
+        assert SUBSONIC_TURBULENCE.num_steps == 100
+        assert SUBSONIC_TURBULENCE.has_driving
+        assert not SUBSONIC_TURBULENCE.has_gravity
+
+    def test_evrard_parameters(self):
+        assert EVRARD_COLLAPSE.particles_per_gpu == 80e6
+        assert EVRARD_COLLAPSE.has_gravity
+        assert not EVRARD_COLLAPSE.has_driving
+
+    def test_global_particle_counts_from_table1(self):
+        assert SUBSONIC_TURBULENCE.global_particles_billions == (
+            0.6, 1.2, 2.4, 7.4, 9.2, 14.7,
+        )
+        assert EVRARD_COLLAPSE.global_particles_billions == (
+            0.6, 1.2, 2.4, 3.2, 4.8, 7.7,
+        )

@@ -1,0 +1,221 @@
+"""Integration tests: each paper experiment reproduces the right *shape*.
+
+These run the real experiment pipelines at reduced step counts (the
+benchmarks run the full 100-step versions) and assert the qualitative
+claims of each figure.
+"""
+
+import pytest
+
+from repro.analysis.breakdown import device_breakdown, function_breakdown
+from repro.analysis.edp import function_edp, normalized_edp_series, run_edp
+from repro.analysis.validation import validate_pmt_against_slurm
+from repro.config import (
+    CSCS_A100,
+    EVRARD_COLLAPSE,
+    LUMI_G,
+    MINIHPC,
+    SUBSONIC_TURBULENCE,
+)
+from repro.errors import DvfsError
+from repro.experiments import table1_text
+from repro.experiments.frequency import particles_of_side
+from repro.experiments.runner import run_scaled_experiment
+from repro.experiments.validation import figure1_series, figure1_table
+
+STEPS = 10  # reduced from the paper's 100 for test runtime
+
+
+@pytest.fixture(scope="module")
+def lumi_turb():
+    return run_scaled_experiment(LUMI_G, SUBSONIC_TURBULENCE, 8, num_steps=STEPS)
+
+
+@pytest.fixture(scope="module")
+def cscs_turb():
+    return run_scaled_experiment(CSCS_A100, SUBSONIC_TURBULENCE, 8, num_steps=STEPS)
+
+
+class TestRunner:
+    def test_result_fields(self, cscs_turb):
+        assert cscs_turb.num_cards == 8
+        assert cscs_turb.run.num_ranks == 8
+        assert cscs_turb.run.num_nodes == 2
+        assert cscs_turb.gpu_freq_mhz == pytest.approx(1410.0)
+
+    def test_lumi_two_ranks_per_card(self, lumi_turb):
+        assert lumi_turb.run.num_ranks == 16  # 8 cards x 2 GCDs
+        assert lumi_turb.run.gcds_per_card == 2
+
+    def test_evrard_has_gravity_function(self):
+        result = run_scaled_experiment(
+            CSCS_A100, EVRARD_COLLAPSE, 8, num_steps=3
+        )
+        assert "Gravity" in result.run.functions()
+        assert "TurbulenceDriving" not in result.run.functions()
+
+    def test_frequency_control_enforced(self):
+        """Production systems reject user DVFS, exactly as in the paper."""
+        with pytest.raises(DvfsError):
+            run_scaled_experiment(
+                LUMI_G, SUBSONIC_TURBULENCE, 8, gpu_freq_mhz=1000.0, num_steps=1
+            )
+        # miniHPC allows it.
+        run_scaled_experiment(
+            MINIHPC,
+            SUBSONIC_TURBULENCE,
+            2,
+            gpu_freq_mhz=1005.0,
+            num_steps=1,
+            particles_per_rank=1e6,
+        )
+
+
+class TestFigure1Shape:
+    def test_pmt_below_slurm_everywhere(self, lumi_turb, cscs_turb):
+        for result in (lumi_turb, cscs_turb):
+            point = validate_pmt_against_slurm(
+                result.run, result.accounting, result.num_cards
+            )
+            # At the test's reduced 10 steps the fixed setup phases weigh
+            # far more than in the paper's 100-step runs, so the ratio is
+            # lower here; the full-length benchmark lands at ~0.8-0.9.
+            assert 0.2 < point.ratio < 1.0
+
+    def test_lumi_gap_larger_than_cscs(self, lumi_turb, cscs_turb):
+        lumi = validate_pmt_against_slurm(lumi_turb.run, lumi_turb.accounting, 8)
+        cscs = validate_pmt_against_slurm(cscs_turb.run, cscs_turb.accounting, 8)
+        assert lumi.ratio < cscs.ratio
+
+    def test_series_helper(self):
+        points = figure1_series(
+            CSCS_A100, card_counts=(8, 16), num_steps=3
+        )
+        assert [p.num_cards for p in points] == [8, 16]
+        assert points[1].slurm_joules > points[0].slurm_joules
+        table = figure1_table(points)
+        assert "PMT/Slurm" in table
+
+
+class TestFigure2Shape:
+    def test_gpu_dominates_both_systems(self, lumi_turb, cscs_turb):
+        for result in (lumi_turb, cscs_turb):
+            bd = device_breakdown(result.run)
+            shares = bd.shares
+            assert 0.6 < shares["GPU"] < 0.85
+            assert shares["GPU"] == max(shares.values())
+
+    def test_memory_only_on_lumi(self, lumi_turb, cscs_turb):
+        assert "Memory" in device_breakdown(lumi_turb.run).joules
+        assert "Memory" not in device_breakdown(cscs_turb.run).joules
+
+    def test_other_is_second_largest(self, cscs_turb):
+        shares = device_breakdown(cscs_turb.run).shares
+        ordered = sorted(shares, key=shares.get, reverse=True)
+        assert ordered[0] == "GPU"
+        assert ordered[1] == "Other"
+
+    def test_lumi_total_exceeds_cscs(self, lumi_turb, cscs_turb):
+        """Figure 2 totals: LUMI-Turb > CSCS-Turb at equal card counts."""
+        lumi = device_breakdown(lumi_turb.run).total_joules
+        cscs = device_breakdown(cscs_turb.run).total_joules
+        assert lumi > cscs
+
+
+class TestFigure3Shape:
+    def test_momentum_energy_dominates_gpu(self, lumi_turb, cscs_turb):
+        for result in (lumi_turb, cscs_turb):
+            rows = function_breakdown(result.run, "gpu")
+            assert rows[0].function == "MomentumEnergy"
+
+    def test_momentum_energy_share_higher_on_lumi(self, lumi_turb, cscs_turb):
+        """The paper's headline: 45.8 % of GPU energy on LUMI-G vs
+        25.29 % on CSCS-A100."""
+
+        def share(result):
+            rows = function_breakdown(result.run, "gpu")
+            total = sum(r.joules for r in rows)
+            me = next(r for r in rows if r.function == "MomentumEnergy")
+            return me.joules / total
+
+        assert share(lumi_turb) > share(cscs_turb) + 0.08
+        assert 0.35 < share(lumi_turb) < 0.55
+        assert 0.18 < share(cscs_turb) < 0.35
+
+    def test_cpu_energy_tracks_function_time(self, cscs_turb):
+        """CPU energy per function is roughly proportional to duration
+        (the CPU idles but still draws power while each function runs)."""
+        rows = function_breakdown(cscs_turb.run, "cpu")
+        by_time = sorted(rows, key=lambda r: r.seconds, reverse=True)
+        by_energy = sorted(rows, key=lambda r: r.joules, reverse=True)
+        assert by_time[0].function == by_energy[0].function
+
+
+class TestFigures4And5Shape:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        runs = {}
+        for side in (200, 450):
+            for freq in (1410.0, 1005.0):
+                runs[(side, freq)] = run_scaled_experiment(
+                    MINIHPC,
+                    SUBSONIC_TURBULENCE,
+                    2,
+                    gpu_freq_mhz=freq,
+                    num_steps=STEPS,
+                    particles_per_rank=particles_of_side(side),
+                )
+        return runs
+
+    def test_downscaling_reduces_whole_run_edp(self, sweep):
+        for side in (200, 450):
+            series = {
+                freq: run_edp(sweep[(side, freq)].run) for freq in (1410.0, 1005.0)
+            }
+            norm = normalized_edp_series(series, 1410.0)
+            assert norm[1005.0] < 1.0
+
+    def test_small_problem_benefits_most(self, sweep):
+        def drop(side):
+            series = {
+                freq: run_edp(sweep[(side, freq)].run) for freq in (1410.0, 1005.0)
+            }
+            return normalized_edp_series(series, 1410.0)[1005.0]
+
+        assert drop(200) < drop(450)
+
+    def test_time_to_solution_increases(self, sweep):
+        assert (
+            sweep[(450, 1005.0)].run.app_seconds
+            > sweep[(450, 1410.0)].run.app_seconds
+        )
+
+    def test_function_edp_contrast(self, sweep):
+        """Compute-bound functions don't benefit; DomainDecompAndSync does."""
+        ratios = {}
+        low = function_edp(sweep[(450, 1005.0)].run)
+        base = function_edp(sweep[(450, 1410.0)].run)
+        for fn in base:
+            if base[fn] > 0:
+                ratios[fn] = low[fn] / base[fn]
+        assert ratios["MomentumEnergy"] > 0.9  # no meaningful benefit
+        assert ratios["DomainDecompAndSync"] < 0.85  # clear benefit
+        assert ratios["DomainDecompAndSync"] < ratios["MomentumEnergy"]
+        assert ratios["Density"] < 0.9
+
+
+class TestTable1:
+    def test_contains_all_rows(self):
+        text = table1_text()
+        for needle in (
+            "LUMI-G",
+            "CSCS-A100",
+            "miniHPC",
+            "MI250X",
+            "A100",
+            "150 million",
+            "80 million",
+            "1700 MHz",
+            "1410 MHz",
+        ):
+            assert needle in text

@@ -1,0 +1,122 @@
+"""Tests for Barnes-Hut gravity against the direct-sum oracle."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.sph.gravity import (
+    BarnesHutGravity,
+    direct_sum_acceleration,
+    direct_sum_potential,
+)
+
+
+def random_cluster(n, seed=0):
+    rng = np.random.default_rng(seed)
+    pos = rng.normal(0.0, 1.0, size=(n, 3))
+    mass = rng.uniform(0.5, 1.5, size=n) / n
+    return pos, mass
+
+
+class TestDirectSum:
+    def test_two_body_acceleration(self):
+        pos = np.array([[0.0, 0.0, 0.0], [1.0, 0.0, 0.0]])
+        mass = np.array([1.0, 2.0])
+        acc = direct_sum_acceleration(pos, mass)
+        assert acc[0] == pytest.approx([2.0, 0.0, 0.0])
+        assert acc[1] == pytest.approx([-1.0, 0.0, 0.0])
+
+    def test_newton_third_law(self):
+        pos, mass = random_cluster(50, seed=1)
+        acc = direct_sum_acceleration(pos, mass)
+        net_force = np.sum(mass[:, None] * acc, axis=0)
+        assert np.allclose(net_force, 0.0, atol=1e-12)
+
+    def test_softening_caps_close_forces(self):
+        pos = np.array([[0.0, 0.0, 0.0], [1e-6, 0.0, 0.0]])
+        mass = np.array([1.0, 1.0])
+        hard = direct_sum_acceleration(pos, mass, eps=0.0)
+        soft = direct_sum_acceleration(pos, mass, eps=0.1)
+        assert np.abs(soft).max() < np.abs(hard).max()
+
+    def test_two_body_potential(self):
+        pos = np.array([[0.0, 0.0, 0.0], [2.0, 0.0, 0.0]])
+        mass = np.array([1.0, 3.0])
+        assert direct_sum_potential(pos, mass) == pytest.approx(-1.5)
+
+    def test_potential_negative(self):
+        pos, mass = random_cluster(30, seed=2)
+        assert direct_sum_potential(pos, mass, eps=0.01) < 0
+
+
+class TestBarnesHut:
+    def test_matches_direct_sum_small_theta(self):
+        pos, mass = random_cluster(300, seed=3)
+        tree = BarnesHutGravity(pos, mass, theta=0.3, eps=0.05)
+        bh = tree.acceleration()
+        ds = direct_sum_acceleration(pos, mass, eps=0.05)
+        rel = np.linalg.norm(bh - ds, axis=1) / np.maximum(
+            np.linalg.norm(ds, axis=1), 1e-12
+        )
+        assert np.median(rel) < 0.01
+        assert rel.max() < 0.10
+
+    def test_accuracy_improves_with_smaller_theta(self):
+        pos, mass = random_cluster(300, seed=4)
+        ds = direct_sum_acceleration(pos, mass, eps=0.05)
+
+        def err(theta):
+            bh = BarnesHutGravity(pos, mass, theta=theta, eps=0.05).acceleration()
+            return float(
+                np.mean(
+                    np.linalg.norm(bh - ds, axis=1)
+                    / np.maximum(np.linalg.norm(ds, axis=1), 1e-12)
+                )
+            )
+
+        assert err(0.2) < err(0.9)
+
+    def test_theta_zero_limit_is_direct(self):
+        """With huge leaves the tree degenerates to direct summation."""
+        pos, mass = random_cluster(64, seed=5)
+        tree = BarnesHutGravity(pos, mass, theta=0.5, eps=0.02, leaf_size=64)
+        assert np.allclose(
+            tree.acceleration(),
+            direct_sum_acceleration(pos, mass, eps=0.02),
+            rtol=1e-12,
+        )
+
+    def test_external_targets(self):
+        pos, mass = random_cluster(200, seed=6)
+        far = np.array([[50.0, 0.0, 0.0]])
+        tree = BarnesHutGravity(pos, mass, theta=0.5)
+        acc = tree.acceleration(far)
+        # At 50 sigma the cluster is a point mass at its center of mass.
+        total_m = mass.sum()
+        com = np.sum(pos * mass[:, None], axis=0) / total_m
+        d = com - far[0]
+        expected = total_m * d / np.linalg.norm(d) ** 3
+        assert np.allclose(acc[0], expected, rtol=1e-3)
+
+    def test_node_count_reasonable(self):
+        pos, mass = random_cluster(1000, seed=7)
+        tree = BarnesHutGravity(pos, mass, leaf_size=16)
+        assert 1000 / 16 < tree.num_nodes < 8000
+
+    def test_mismatched_inputs_rejected(self):
+        with pytest.raises(SimulationError):
+            BarnesHutGravity(np.zeros((3, 3)), np.ones(2))
+
+    def test_invalid_theta_rejected(self):
+        pos, mass = random_cluster(10)
+        with pytest.raises(SimulationError):
+            BarnesHutGravity(pos, mass, theta=0.0)
+
+    def test_momentum_conserved_by_tree_forces(self):
+        pos, mass = random_cluster(400, seed=8)
+        acc = BarnesHutGravity(pos, mass, theta=0.5, eps=0.05).acceleration()
+        net = np.sum(mass[:, None] * acc, axis=0)
+        # Monopole approximation breaks exact pairwise symmetry, but the
+        # residual must be far below the typical force scale.
+        typical = np.mean(np.abs(mass[:, None] * acc))
+        assert np.abs(net).max() < 0.05 * typical

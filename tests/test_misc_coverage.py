@@ -1,0 +1,124 @@
+"""Final coverage batch: error hierarchy, CLI plotting paths, sacct
+multi-job reports, sampler dumps with counter baselines, engine idling."""
+
+import pytest
+
+import repro
+from repro import errors
+from repro.cli import main
+from repro.config import CSCS_A100, LUMI_G
+from repro.hardware import Cluster, VirtualClock
+from repro.mpi import RankPlacement, RankWork, SpmdEngine
+from repro.pmt import PmtSampler
+import repro.pmt as pmt
+from repro.sensors import NodeTelemetry
+from repro.slurm import JobAccounting, sacct_report
+
+
+class TestPackageMeta:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_error_hierarchy_rooted(self):
+        for name in (
+            "ClockError", "HardwareError", "DvfsError", "SensorError",
+            "BackendError", "MeasurementError", "SchedulerError",
+            "CommunicatorError", "SimulationError", "ConfigurationError",
+            "AnalysisError",
+        ):
+            cls = getattr(errors, name)
+            assert issubclass(cls, errors.ReproError)
+
+    def test_dvfs_error_is_hardware_error(self):
+        assert issubclass(errors.DvfsError, errors.HardwareError)
+
+
+class TestCliPlots:
+    def test_fig2_plot_bars(self, capsys):
+        code = main(["fig2", "--cards", "8", "--steps", "2", "--plot"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "#" in out  # bar glyphs
+        assert "LUMI-Turb" in out
+
+    def test_fig1_plot_chart(self, capsys):
+        code = main(
+            [
+                "fig1", "--systems", "CSCS-A100", "--cards", "8", "16",
+                "--steps", "2", "--plot",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "energy [MJ] vs GPU cards" in out
+
+    def test_fig5_plot_chart(self, capsys):
+        code = main(
+            ["fig5", "--freqs", "1410", "1005", "--steps", "3", "--plot"]
+        )
+        assert code == 0
+        assert "normalized EDP vs MHz" in capsys.readouterr().out
+
+
+class TestSacctMultiJob:
+    def make(self, job_id, energy):
+        return JobAccounting(
+            job_id=job_id,
+            name=f"job-{job_id}",
+            num_nodes=1,
+            num_ranks=4,
+            submit_time=0.0,
+            start_time=0.0,
+            app_start_time=10.0,
+            app_end_time=110.0,
+            end_time=115.0,
+            consumed_energy_joules=energy,
+        )
+
+    def test_multiple_rows(self):
+        report = sacct_report([self.make(1, 1.5e6), self.make(2, 2.5e9)])
+        assert "job-1" in report and "job-2" in report
+        assert "1.50M" in report
+        assert "2.50G" in report
+
+    def test_empty_report_has_header(self):
+        report = sacct_report([])
+        assert "ConsumedEnergy" in report
+
+
+class TestSamplerWithBaselines:
+    def test_dump_joules_monotone_from_base(self):
+        clock = VirtualClock()
+        cluster = Cluster("c", clock, LUMI_G.node_spec, 1, LUMI_G.network)
+        telemetry = NodeTelemetry(cluster.nodes[0], LUMI_G, clock, seed=9)
+        meter = pmt.create("cray", telemetry=telemetry)
+        sampler = PmtSampler(meter, interval_s=1.0)
+        sampler.start()
+        clock.advance(5.0)
+        sampler.stop()
+        joules = [row.joules for row in sampler.rows]
+        assert joules[0] > 0  # counters count since boot
+        assert all(b >= a for a, b in zip(joules, joules[1:]))
+        # Differences reflect the idle node power.
+        delta = joules[-1] - joules[0]
+        assert delta == pytest.approx(cluster.nodes[0].idle_power() * 5.0, rel=0.05)
+
+
+class TestEngineIdle:
+    def test_idle_phase_draws_idle_power_everywhere(self):
+        clock = VirtualClock()
+        cluster = Cluster("c", clock, CSCS_A100.node_spec, 2, CSCS_A100.network)
+        engine = SpmdEngine(RankPlacement(cluster))
+        engine.run_phase(
+            [RankWork(duration=3.0, gpu_compute=1.0, gpu_memory=1.0)] * 8
+        )
+        engine.run_idle(7.0)
+        for node in cluster.nodes:
+            assert node.power_at(9.9) == pytest.approx(node.idle_power())
+
+    def test_negative_idle_rejected(self):
+        clock = VirtualClock()
+        cluster = Cluster("c", clock, CSCS_A100.node_spec, 1, CSCS_A100.network)
+        engine = SpmdEngine(RankPlacement(cluster))
+        with pytest.raises(errors.SimulationError):
+            engine.run_idle(-1.0)

@@ -1,0 +1,93 @@
+"""Tests for the analytic device power model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import HardwareError
+from repro.hardware import PowerModel
+
+
+def make_model(**overrides):
+    params = dict(
+        static_watts=40.0,
+        clock_watts=20.0,
+        compute_watts=200.0,
+        memory_watts=80.0,
+        alpha=2.4,
+    )
+    params.update(overrides)
+    return PowerModel(**params)
+
+
+class TestPowerModel:
+    def test_idle_at_nominal(self):
+        m = make_model()
+        assert m.power(1.0, 0.0, 0.0) == pytest.approx(60.0)
+        assert m.idle_watts_nominal == pytest.approx(60.0)
+
+    def test_peak_at_nominal(self):
+        m = make_model()
+        assert m.power(1.0, 1.0, 1.0) == pytest.approx(340.0)
+        assert m.peak_watts_nominal == pytest.approx(340.0)
+
+    def test_compute_component_scales_superlinearly(self):
+        m = make_model()
+        half = m.power(0.5, 1.0, 0.0) - m.power(0.5, 0.0, 0.0)
+        full = m.power(1.0, 1.0, 0.0) - m.power(1.0, 0.0, 0.0)
+        assert half == pytest.approx(full * 0.5**2.4)
+
+    def test_clock_component_scales_linearly(self):
+        m = make_model(compute_watts=0.0, memory_watts=0.0)
+        assert m.power(0.5, 0.0, 0.0) == pytest.approx(40.0 + 10.0)
+
+    def test_memory_component_frequency_independent(self):
+        m = make_model()
+        at_full = m.power(1.0, 0.0, 1.0) - m.power(1.0, 0.0, 0.0)
+        at_half = m.power(0.5, 0.0, 1.0) - m.power(0.5, 0.0, 0.0)
+        assert at_full == pytest.approx(at_half)
+
+    def test_downscaling_reduces_power_at_fixed_load(self):
+        m = make_model()
+        assert m.power(0.713, 0.9, 0.5) < m.power(1.0, 0.9, 0.5)
+
+    def test_zero_freq_ratio_rejected(self):
+        with pytest.raises(HardwareError):
+            make_model().power(0.0, 0.5, 0.5)
+
+    def test_utilization_out_of_range_rejected(self):
+        m = make_model()
+        with pytest.raises(HardwareError):
+            m.power(1.0, 1.5, 0.0)
+        with pytest.raises(HardwareError):
+            m.power(1.0, 0.0, -0.1)
+
+    def test_negative_coefficient_rejected(self):
+        with pytest.raises(HardwareError):
+            make_model(static_watts=-1.0)
+
+    def test_alpha_below_one_rejected(self):
+        with pytest.raises(HardwareError):
+            make_model(alpha=0.5)
+
+    @given(
+        st.floats(min_value=0.2, max_value=1.0),
+        st.floats(min_value=0.0, max_value=1.0),
+        st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_power_bounded_by_idle_and_peak(self, ratio, u_c, u_m):
+        m = make_model()
+        p = m.power(ratio, u_c, u_m)
+        assert m.static_watts <= p <= m.peak_watts_nominal + 1e-9
+
+    @given(
+        st.floats(min_value=0.2, max_value=1.0),
+        st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_power_monotone_in_compute_utilization(self, ratio, u_m):
+        m = make_model()
+        assert m.power(ratio, 0.3, u_m) <= m.power(ratio, 0.7, u_m)
+
+    @given(st.floats(min_value=0.2, max_value=0.99))
+    def test_power_monotone_in_frequency(self, ratio):
+        m = make_model()
+        assert m.power(ratio, 0.8, 0.4) < m.power(1.0, 0.8, 0.4)

@@ -1,0 +1,126 @@
+"""Tests for power profiles and the weak-scaling extension experiment."""
+
+import pytest
+
+from repro.analysis.profile import power_timeline_chart, profile_stats
+from repro.config import CSCS_A100, LUMI_G, SUBSONIC_TURBULENCE
+from repro.errors import AnalysisError
+from repro.experiments.runner import run_scaled_experiment
+from repro.experiments.scaling import weak_scaling_series, weak_scaling_table
+from repro.pmt.sampler import SampleRow
+
+
+class TestPowerProfiles:
+    @pytest.fixture(scope="class", params=[LUMI_G, CSCS_A100])
+    def result(self, request):
+        return run_scaled_experiment(
+            request.param,
+            SUBSONIC_TURBULENCE,
+            8,
+            num_steps=5,
+            power_sample_interval_s=5.0,
+        )
+
+    def test_one_sampler_per_node(self, result):
+        assert len(result.power_samplers) == result.run.num_nodes
+
+    def test_profile_covers_whole_job(self, result):
+        sampler = result.power_samplers[0]
+        stats = profile_stats(sampler.rows)
+        assert stats.duration_s == pytest.approx(
+            result.accounting.elapsed, rel=0.01
+        )
+
+    def test_counter_and_integration_agree(self, result):
+        stats = profile_stats(result.power_samplers[0].rows)
+        # Two independent energy estimates from the same dump.
+        assert stats.integration_error < 0.10
+
+    def test_power_range_sane(self, result):
+        stats = profile_stats(result.power_samplers[0].rows)
+        node = result.system.node_spec
+        assert stats.min_watts >= 0
+        # Node-ish ceiling: GPUs + CPU + slack.
+        ceiling = (
+            node.num_gpu_units * node.gpu.power_model.peak_watts_nominal
+            + 2_000.0
+        )
+        assert stats.max_watts < ceiling
+
+    def test_profile_shows_setup_vs_run_contrast(self, result):
+        """Power during the instrumented window exceeds launch-phase power
+        (idle GPUs vs loaded GPUs) — the Figure 1 mechanism, visible in
+        the profile."""
+        rows = result.power_samplers[0].rows
+        app_start = result.run.app_start
+        setup = [r.watts for r in rows if r.timestamp < app_start * 0.8]
+        running = [r.watts for r in rows if r.timestamp > app_start]
+        assert setup and running
+        assert max(running) > max(setup)
+
+    def test_timeline_chart_renders(self, result):
+        text = power_timeline_chart(result.power_samplers[0].rows)
+        assert "watts" in text
+
+    def test_no_sampling_by_default(self):
+        result = run_scaled_experiment(
+            CSCS_A100, SUBSONIC_TURBULENCE, 8, num_steps=1
+        )
+        assert result.power_samplers == ()
+
+
+class TestProfileStats:
+    def make_rows(self):
+        return [
+            SampleRow(timestamp=0.0, joules=0.0, watts=100.0),
+            SampleRow(timestamp=1.0, joules=100.0, watts=100.0),
+            SampleRow(timestamp=2.0, joules=200.0, watts=100.0),
+        ]
+
+    def test_constant_power(self):
+        stats = profile_stats(self.make_rows())
+        assert stats.mean_watts == 100.0
+        assert stats.counter_joules == 200.0
+        assert stats.integrated_joules == pytest.approx(200.0)
+        assert stats.integration_error == pytest.approx(0.0)
+
+    def test_too_few_rows(self):
+        with pytest.raises(AnalysisError):
+            profile_stats(self.make_rows()[:1])
+
+    def test_unordered_rows_rejected(self):
+        rows = self.make_rows()[::-1]
+        with pytest.raises(AnalysisError):
+            profile_stats(rows)
+
+
+class TestWeakScaling:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return weak_scaling_series(
+            CSCS_A100, (8, 16, 32), num_steps=10
+        )
+
+    def test_near_ideal_weak_scaling(self, points):
+        """Time per step grows only mildly with scale."""
+        times = [p.seconds_per_step for p in points]
+        assert times[-1] < 1.25 * times[0]
+        assert times[-1] >= times[0] * 0.95  # but does not shrink
+
+    def test_energy_per_card_stable(self, points):
+        per_card = [p.joules_per_card for p in points]
+        assert max(per_card) < 1.25 * min(per_card)
+
+    def test_total_energy_grows_linearly_ish(self, points):
+        totals = [p.total_joules for p in points]
+        assert totals[1] == pytest.approx(2 * totals[0], rel=0.2)
+        assert totals[2] == pytest.approx(4 * totals[0], rel=0.25)
+
+    def test_domain_share_grows_with_scale(self, points):
+        shares = [p.domain_sync_share for p in points]
+        assert shares[-1] >= shares[0]
+
+    def test_table_rendering(self, points):
+        table = weak_scaling_table(points)
+        assert "MJ/card" in table
+        assert "32" in table

@@ -1,0 +1,158 @@
+"""Tests for the core sampling energy counter."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SensorError
+from repro.hardware import PowerTrace
+from repro.sensors import SampledEnergyCounter
+
+
+def make_counter(trace=None, **kwargs):
+    if trace is None:
+        trace = PowerTrace(initial_watts=100.0)
+    params = dict(refresh_period_s=0.1, watts_quantum=1.0, energy_quantum=1.0)
+    params.update(kwargs)
+    return SampledEnergyCounter(trace, **params)
+
+
+class TestSampledEnergyCounter:
+    def test_read_at_zero(self):
+        counter = make_counter()
+        reading = counter.read(0.0)
+        assert reading.timestamp == 0.0
+        assert reading.watts == 100.0
+        assert reading.joules == 0.0
+
+    def test_constant_power_energy(self):
+        counter = make_counter()
+        reading = counter.read(10.0)
+        assert reading.joules == pytest.approx(100.0 * 10.0)
+        assert reading.watts == 100.0
+
+    def test_reading_reflects_last_completed_tick(self):
+        counter = make_counter()
+        reading = counter.read(0.57)
+        assert reading.timestamp == pytest.approx(0.5)
+        # Only 5 full ticks integrated.
+        assert reading.joules == pytest.approx(100.0 * 0.5)
+
+    def test_tick_boundary_float_fuzz(self):
+        counter = make_counter()
+        # 0.3 is not exactly representable; 3 * 0.1 may land just below it.
+        assert counter.tick_index(0.1 + 0.1 + 0.1) == 3
+
+    def test_quantization_of_watts(self):
+        trace = PowerTrace(initial_watts=123.7)
+        counter = make_counter(trace)
+        assert counter.read(0.0).watts == 124.0
+
+    def test_quantization_of_joules_floor(self):
+        trace = PowerTrace(initial_watts=9.4)
+        counter = make_counter(trace)
+        # 9 W quantized * 1.0 s = 9.0 J per 10 ticks... floor applied on read
+        reading = counter.read(0.35)  # 3 ticks of 9 W * 0.1 s = 2.7 -> floor 2
+        assert reading.joules == 2.0
+
+    def test_step_change_visible_after_tick(self):
+        trace = PowerTrace(initial_watts=50.0)
+        trace.set_power(1.0, 250.0)
+        counter = make_counter(trace)
+        assert counter.read(0.95).watts == 50.0
+        assert counter.read(1.0).watts == 250.0
+
+    def test_energy_approximates_ground_truth(self):
+        trace = PowerTrace(initial_watts=60.0)
+        t = 0.0
+        rng = np.random.default_rng(42)
+        for _ in range(50):
+            t += float(rng.uniform(0.3, 2.0))
+            trace.set_power(t, float(rng.uniform(50.0, 400.0)))
+        counter = make_counter(trace)
+        horizon = t + 1.0
+        measured = counter.read(horizon).joules
+        truth = counter.true_energy(horizon)
+        assert measured == pytest.approx(truth, rel=0.05)
+
+    def test_out_of_order_reads_consistent(self):
+        """Two ranks share a card sensor and read it at different times."""
+        trace = PowerTrace(initial_watts=100.0)
+        counter = make_counter(trace)
+        late = counter.read(5.0)
+        early = counter.read(2.0)
+        again = counter.read(5.0)
+        assert early.joules == pytest.approx(200.0)
+        assert late.joules == again.joules == pytest.approx(500.0)
+
+    def test_monotone_energy(self):
+        trace = PowerTrace(initial_watts=75.0)
+        counter = make_counter(trace)
+        values = [counter.read(t).joules for t in np.linspace(0, 20, 57)]
+        assert all(b >= a for a, b in zip(values, values[1:]))
+
+    def test_wraparound(self):
+        counter = make_counter(wrap_joules=500.0)
+        # 100 W for 7 s = 700 J -> wraps to 200 J.
+        assert counter.read(7.0).joules == pytest.approx(200.0)
+
+    def test_noise_is_deterministic(self):
+        trace = PowerTrace(initial_watts=200.0)
+        c1 = make_counter(trace, noise_sigma_watts=5.0, seed=7)
+        c2 = make_counter(trace, noise_sigma_watts=5.0, seed=7)
+        assert c1.read(3.0).joules == c2.read(3.0).joules
+
+    def test_noise_changes_with_seed(self):
+        trace = PowerTrace(initial_watts=200.0)
+        c1 = make_counter(trace, noise_sigma_watts=5.0, seed=7, watts_quantum=1e-6)
+        c2 = make_counter(trace, noise_sigma_watts=5.0, seed=8, watts_quantum=1e-6)
+        assert c1.read(3.0).joules != c2.read(3.0).joules
+
+    def test_noise_never_negative_power(self):
+        trace = PowerTrace(initial_watts=0.5)
+        counter = make_counter(trace, noise_sigma_watts=50.0, watts_quantum=1e-6)
+        values = [counter.read(t).watts for t in np.arange(0, 5, 0.1)]
+        assert min(values) >= 0.0
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(SensorError):
+            make_counter().read(-1.0)
+
+    def test_invalid_parameters_rejected(self):
+        trace = PowerTrace()
+        with pytest.raises(SensorError):
+            SampledEnergyCounter(trace, refresh_period_s=0.0)
+        with pytest.raises(SensorError):
+            SampledEnergyCounter(trace, refresh_period_s=0.1, watts_quantum=0.0)
+        with pytest.raises(SensorError):
+            SampledEnergyCounter(trace, refresh_period_s=0.1, noise_sigma_watts=-1.0)
+        with pytest.raises(SensorError):
+            SampledEnergyCounter(trace, refresh_period_s=0.1, wrap_joules=0.0)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.05, max_value=3.0),
+                st.floats(min_value=0.0, max_value=500.0),
+            ),
+            min_size=1,
+            max_size=15,
+        ),
+        st.floats(min_value=0.5, max_value=30.0),
+    )
+    @settings(max_examples=40)
+    def test_measured_energy_close_to_truth_property(self, segments, horizon):
+        """Sampled integration error is bounded by quantization + cadence."""
+        trace = PowerTrace(initial_watts=80.0)
+        t = 0.0
+        for dt, watts in segments:
+            t += dt
+            trace.set_power(t, watts)
+        counter = SampledEnergyCounter(
+            trace, refresh_period_s=0.01, watts_quantum=0.001, energy_quantum=1e-6
+        )
+        measured = counter.read(horizon).joules
+        truth = counter.true_energy(horizon)
+        # Left-rectangle error per breakpoint <= period * |power jump|.
+        bound = 0.01 * (len(segments) + 1) * 500.0 + 0.01 * 500.0 + 1e-3
+        assert abs(measured - truth) <= bound

@@ -1,0 +1,187 @@
+"""Tests for the simulated Slurm controller and energy accounting."""
+
+import pytest
+
+from repro.config import CSCS_A100, LUMI_G
+from repro.errors import SchedulerError
+from repro.hardware import Cluster, VirtualClock
+from repro.mpi import RankPlacement, RankWork, SpmdEngine
+from repro.sensors import NodeTelemetry
+from repro.slurm import (
+    AcctGatherEnergyPlugin,
+    JobAccounting,
+    JobDescriptor,
+    SlurmController,
+    format_consumed_energy,
+    sacct_report,
+)
+
+
+def make_stack(system, num_nodes):
+    clock = VirtualClock()
+    cluster = Cluster("c", clock, system.node_spec, num_nodes, system.network)
+    telemetries = [
+        NodeTelemetry(node, system, clock, seed=i)
+        for i, node in enumerate(cluster.nodes)
+    ]
+    engine = SpmdEngine(RankPlacement(cluster))
+    return clock, cluster, telemetries, engine
+
+
+class TestJobDescriptor:
+    def test_valid(self):
+        job = JobDescriptor(name="turb", num_nodes=2, particles_per_rank=1e6)
+        assert job.num_nodes == 2
+
+    def test_invalid_nodes(self):
+        with pytest.raises(SchedulerError):
+            JobDescriptor(name="x", num_nodes=0)
+
+    def test_invalid_particles(self):
+        with pytest.raises(SchedulerError):
+            JobDescriptor(name="x", num_nodes=1, particles_per_rank=-1)
+
+
+class TestEnergyPlugin:
+    def test_consumed_energy_matches_ground_truth(self):
+        clock, cluster, telemetries, engine = make_stack(LUMI_G, 2)
+        plugin = AcctGatherEnergyPlugin(telemetries, clock)
+        plugin.job_start()
+        t0 = clock.now
+        engine.run_phase(
+            [RankWork(duration=30.0, gpu_compute=0.8, gpu_memory=0.5)] * 16
+        )
+        plugin.job_end()
+        truth = cluster.energy_between(t0, clock.now)
+        assert plugin.consumed_energy_joules() == pytest.approx(truth, rel=0.02)
+
+    def test_per_node_split(self):
+        clock, cluster, telemetries, engine = make_stack(LUMI_G, 2)
+        plugin = AcctGatherEnergyPlugin(telemetries, clock)
+        plugin.job_start()
+        engine.run_phase([RankWork(duration=10.0)] * 16)
+        plugin.job_end()
+        per_node = plugin.per_node_joules()
+        assert len(per_node) == 2
+        assert sum(per_node) == pytest.approx(plugin.consumed_energy_joules())
+
+    def test_periodic_samples(self):
+        clock, cluster, telemetries, engine = make_stack(CSCS_A100, 1)
+        plugin = AcctGatherEnergyPlugin(telemetries, clock, sample_interval_s=5.0)
+        plugin.job_start()
+        engine.run_phase([RankWork(duration=21.0)] * 4)
+        plugin.job_end()
+        sample_times = {s.timestamp for s in plugin.samples}
+        assert {0.0, 5.0, 10.0, 15.0, 20.0, 21.0} <= sample_times
+
+    def test_double_start_rejected(self):
+        clock, _, telemetries, _ = make_stack(CSCS_A100, 1)
+        plugin = AcctGatherEnergyPlugin(telemetries, clock)
+        plugin.job_start()
+        with pytest.raises(SchedulerError):
+            plugin.job_start()
+
+    def test_end_before_start_rejected(self):
+        clock, _, telemetries, _ = make_stack(CSCS_A100, 1)
+        plugin = AcctGatherEnergyPlugin(telemetries, clock)
+        with pytest.raises(SchedulerError):
+            plugin.job_end()
+
+    def test_backend_name_per_system(self):
+        _, _, lumi_tel, _ = make_stack(LUMI_G, 1)
+        _, _, cscs_tel, _ = make_stack(CSCS_A100, 1)
+        clock = lumi_tel[0].node.clock
+        assert AcctGatherEnergyPlugin(lumi_tel, clock).backend_name == "pm_counters"
+        clock2 = cscs_tel[0].node.clock
+        assert AcctGatherEnergyPlugin(cscs_tel, clock2).backend_name == "ipmi"
+
+
+class TestSlurmController:
+    def test_job_lifecycle_ordering(self):
+        clock, cluster, telemetries, engine = make_stack(CSCS_A100, 1)
+        controller = SlurmController(engine, telemetries, CSCS_A100)
+        job = JobDescriptor(name="turb", num_nodes=1, particles_per_rank=10e6)
+
+        def app():
+            engine.run_phase([RankWork(duration=50.0, gpu_compute=0.9)] * 4)
+            return "result"
+
+        acct = controller.run_job(job, app)
+        assert acct.submit_time <= acct.start_time < acct.app_start_time
+        assert acct.app_start_time < acct.app_end_time <= acct.end_time
+        assert acct.app_result == "result"
+        assert acct.app_end_time - acct.app_start_time == pytest.approx(50.0)
+
+    def test_setup_energy_included_in_accounting(self):
+        """The core Figure 1 mechanism: Slurm integrates the setup phases."""
+        clock, cluster, telemetries, engine = make_stack(CSCS_A100, 1)
+        controller = SlurmController(engine, telemetries, CSCS_A100)
+        job = JobDescriptor(name="turb", num_nodes=1, particles_per_rank=10e6)
+        app_truth = {}
+
+        def app():
+            t0 = clock.now
+            engine.run_phase([RankWork(duration=50.0, gpu_compute=0.9)] * 4)
+            app_truth["joules"] = cluster.energy_between(t0, clock.now)
+
+        acct = controller.run_job(job, app)
+        assert acct.consumed_energy_joules > app_truth["joules"]
+        assert acct.setup_seconds > 0
+
+    def test_lumi_setup_longer_than_cscs(self):
+        """LUMI-G's slower launch/init is what widens its Figure 1 gap."""
+        def setup_seconds(system):
+            clock, cluster, telemetries, engine = make_stack(system, 1)
+            controller = SlurmController(engine, telemetries, system)
+            job = JobDescriptor(name="j", num_nodes=1, particles_per_rank=50e6)
+            acct = controller.run_job(job, lambda: None)
+            return acct.setup_seconds
+
+        assert setup_seconds(LUMI_G) > setup_seconds(CSCS_A100)
+
+    def test_init_scales_with_problem_size(self):
+        def setup_seconds(particles):
+            clock, cluster, telemetries, engine = make_stack(CSCS_A100, 1)
+            controller = SlurmController(engine, telemetries, CSCS_A100)
+            job = JobDescriptor(name="j", num_nodes=1, particles_per_rank=particles)
+            return controller.run_job(job, lambda: None).setup_seconds
+
+        assert setup_seconds(150e6) > setup_seconds(10e6)
+
+    def test_node_count_mismatch_rejected(self):
+        clock, cluster, telemetries, engine = make_stack(CSCS_A100, 1)
+        controller = SlurmController(engine, telemetries, CSCS_A100)
+        with pytest.raises(SchedulerError):
+            controller.run_job(JobDescriptor(name="j", num_nodes=2), lambda: None)
+
+    def test_telemetry_count_mismatch_rejected(self):
+        clock, cluster, telemetries, engine = make_stack(CSCS_A100, 1)
+        with pytest.raises(SchedulerError):
+            SlurmController(engine, telemetries * 2, CSCS_A100)
+
+
+class TestSacct:
+    def test_format_consumed_energy(self):
+        assert format_consumed_energy(24.4e6) == "24.40M"
+        assert format_consumed_energy(1234) == "1.23K"
+        assert format_consumed_energy(999) == "999"
+        assert format_consumed_energy(3.2e9) == "3.20G"
+
+    def test_report_contains_jobs(self):
+        acct = JobAccounting(
+            job_id=1001,
+            name="turbulence-48",
+            num_nodes=12,
+            num_ranks=48,
+            submit_time=0.0,
+            start_time=0.0,
+            app_start_time=60.0,
+            app_end_time=660.0,
+            end_time=670.0,
+            consumed_energy_joules=12.5e6,
+        )
+        report = sacct_report([acct])
+        assert "1001" in report
+        assert "turbulence-48" in report
+        assert "12.50M" in report
+        assert "00:11:10" in report

@@ -1,0 +1,81 @@
+"""Tests for the cubic-spline kernel: normalization, support, gradient."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sph.kernels import CubicSplineKernel
+
+K = CubicSplineKernel
+
+
+class TestCubicSpline:
+    def test_peak_at_origin(self):
+        h = np.array([1.0])
+        assert K.value(np.array([0.0]), h)[0] == pytest.approx(1.0 / np.pi)
+
+    def test_compact_support(self):
+        h = np.ones(3)
+        r = np.array([1.999, 2.0, 5.0])
+        w = K.value(r, h)
+        assert w[0] > 0
+        assert w[1] == 0
+        assert w[2] == 0
+
+    def test_continuous_at_junction(self):
+        """w(q) and dw(q) continuous at q = 1."""
+        eps = 1e-9
+        assert K.w(np.array([1 - eps]))[0] == pytest.approx(
+            K.w(np.array([1 + eps]))[0], abs=1e-7
+        )
+        assert K.dw(np.array([1 - eps]))[0] == pytest.approx(
+            K.dw(np.array([1 + eps]))[0], abs=1e-7
+        )
+
+    def test_normalization_3d(self):
+        """integral of W over R^3 equals 1 (radial quadrature)."""
+        for h in (0.5, 1.0, 2.0):
+            r = np.linspace(0, 2 * h, 20001)
+            w = K.value(r, np.full_like(r, h))
+            integral = np.trapezoid(4 * np.pi * r**2 * w, r)
+            assert integral == pytest.approx(1.0, rel=1e-6)
+
+    def test_monotone_decreasing(self):
+        r = np.linspace(0, 2, 500)
+        w = K.value(r, np.ones_like(r))
+        assert np.all(np.diff(w) <= 1e-15)
+
+    def test_gradient_matches_finite_difference(self):
+        h = 0.7
+        r = np.linspace(0.05, 1.9 * h, 200)
+        eps = 1e-6
+        numeric = (
+            K.value(r + eps, np.full_like(r, h))
+            - K.value(r - eps, np.full_like(r, h))
+        ) / (2 * eps)
+        analytic = K.grad_r(r, np.full_like(r, h))
+        assert np.allclose(analytic, numeric, rtol=1e-4, atol=1e-8)
+
+    def test_gradient_nonpositive(self):
+        r = np.linspace(0, 3, 100)
+        assert np.all(K.grad_r(r, np.ones_like(r)) <= 0)
+
+    def test_h_scaling(self):
+        """W(r, h) = h^-3 W(r/h, 1)."""
+        r = np.array([0.3])
+        for h in (0.5, 2.0):
+            scaled = K.value(r, np.array([h]))
+            reference = K.value(r / h, np.array([1.0])) / h**3
+            assert scaled[0] == pytest.approx(reference[0])
+
+    @given(st.floats(min_value=0.0, max_value=5.0))
+    def test_nonnegative_everywhere(self, q):
+        assert K.w(np.array([q]))[0] >= 0.0
+
+    @given(
+        st.floats(min_value=0.01, max_value=3.0),
+        st.floats(min_value=0.1, max_value=5.0),
+    )
+    def test_value_finite(self, r, h):
+        w = K.value(np.array([r]), np.array([h]))
+        assert np.isfinite(w[0]) and w[0] >= 0

@@ -1,0 +1,200 @@
+"""Tests for the dynamic per-function DVFS extension (paper future work)."""
+
+import pytest
+
+from repro.config import MINIHPC, SUBSONIC_TURBULENCE
+from repro.errors import ConfigurationError, SimulationError
+from repro.tuning import (
+    DynamicDvfsApplication,
+    PerFunctionPolicy,
+    StaticPolicy,
+    build_oracle_policy,
+    tune_per_function,
+)
+from repro.tuning.optimizer import run_dynamic
+from repro.tuning.policy import FunctionSweepPoint
+
+FREQS = (1410.0, 1230.0, 1005.0)
+SIDE = 450.0
+
+
+def sweep_point(fn, freq, seconds, joules):
+    return FunctionSweepPoint(
+        function=fn, freq_mhz=freq, seconds=seconds, joules=joules
+    )
+
+
+class TestPolicies:
+    def test_static_policy(self):
+        policy = StaticPolicy(1200.0)
+        assert policy.frequency_for("Anything") == 1200.0
+
+    def test_per_function_with_default(self):
+        policy = PerFunctionPolicy(default_mhz=1410.0, table={"A": 1005.0})
+        assert policy.frequency_for("A") == 1005.0
+        assert policy.frequency_for("B") == 1410.0
+
+    def test_inherit_missing(self):
+        policy = PerFunctionPolicy(
+            default_mhz=1410.0, table={"A": 1005.0}, inherit_missing=True
+        )
+        assert policy.frequency_for("B") is None
+
+
+class TestOracleBuilder:
+    def make_points(self):
+        return [
+            # Compute-bound: stretches at low frequency, EDP worse.
+            sweep_point("ME", 1410.0, 10.0, 2000.0),
+            sweep_point("ME", 1005.0, 14.0, 1800.0),
+            # Memory-bound: same time, less energy at low frequency.
+            sweep_point("Density", 1410.0, 5.0, 1000.0),
+            sweep_point("Density", 1005.0, 5.0, 700.0),
+        ]
+
+    def test_edp_objective(self):
+        policy = build_oracle_policy(self.make_points(), 1410.0)
+        assert policy.frequency_for("ME") == 1410.0
+        assert policy.frequency_for("Density") == 1005.0
+
+    def test_energy_objective_unconstrained(self):
+        policy = build_oracle_policy(
+            self.make_points(), 1410.0, objective="energy"
+        )
+        # Pure energy minimization down-clocks even the compute-bound kernel.
+        assert policy.frequency_for("ME") == 1005.0
+
+    def test_energy_objective_with_slowdown_constraint(self):
+        policy = build_oracle_policy(
+            self.make_points(), 1410.0, objective="energy", max_slowdown=1.1
+        )
+        # 14 s > 1.1 * 10 s: the low frequency is infeasible for ME.
+        assert policy.frequency_for("ME") == 1410.0
+        assert policy.frequency_for("Density") == 1005.0
+
+    def test_tolerance_prefers_lower_frequency(self):
+        points = [
+            sweep_point("F", 1410.0, 10.0, 1000.0),  # EDP 10000 (best)
+            sweep_point("F", 1005.0, 10.0, 1020.0),  # EDP 10200 (within 3%)
+        ]
+        assert build_oracle_policy(points, 1410.0).frequency_for("F") == 1410.0
+        assert (
+            build_oracle_policy(points, 1410.0, tolerance=0.03).frequency_for("F")
+            == 1005.0
+        )
+
+    def test_min_function_seconds_exempts_short_functions(self):
+        points = self.make_points() + [
+            sweep_point("Tiny", 1410.0, 0.01, 1.0),
+            sweep_point("Tiny", 1005.0, 0.01, 0.1),
+        ]
+        policy = build_oracle_policy(points, 1410.0, min_function_seconds=1.0)
+        assert policy.inherit_missing
+        assert policy.frequency_for("Tiny") is None
+        assert policy.frequency_for("Density") == 1005.0
+
+    def test_missing_baseline_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_oracle_policy([sweep_point("F", 1005.0, 1.0, 1.0)], 1410.0)
+
+    def test_unknown_objective_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_oracle_policy(self.make_points(), 1410.0, objective="power")
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_oracle_policy(self.make_points(), 1410.0, tolerance=-0.1)
+
+
+class TestDynamicApplication:
+    def test_switch_counting_and_snapping(self):
+        policy = PerFunctionPolicy(
+            default_mhz=1410.0,
+            # 1200 is not a supported A100 step; must snap to 1185/1230.
+            table={"MomentumEnergy": 1200.0},
+        )
+        run, switches = run_dynamic(
+            MINIHPC,
+            SUBSONIC_TURBULENCE,
+            num_cards=2,
+            policy=policy,
+            num_steps=2,
+            particles_per_rank=1e7,
+        )
+        # ME switches down, the next function switches back: 2 per step.
+        assert switches == 4
+        assert run.num_ranks == 2
+
+    def test_static_policy_never_switches_after_start(self):
+        policy = StaticPolicy(1410.0)
+        _, switches = run_dynamic(
+            MINIHPC,
+            SUBSONIC_TURBULENCE,
+            num_cards=2,
+            policy=policy,
+            num_steps=2,
+            particles_per_rank=1e7,
+        )
+        assert switches == 0
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(SimulationError):
+            # Engine internals irrelevant; the constructor validates first.
+            DynamicDvfsApplication(
+                engine=None,  # type: ignore[arg-type]
+                profiler=None,  # type: ignore[arg-type]
+                perfmodel=None,  # type: ignore[arg-type]
+                functions=("A",),
+                num_steps=1,
+                test_case_name="t",
+                policy=StaticPolicy(1410.0),
+                switch_latency_s=-1.0,
+            )
+
+
+class TestEndToEndTuning:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return tune_per_function(
+            MINIHPC,
+            SUBSONIC_TURBULENCE,
+            num_cards=2,
+            freqs_mhz=FREQS,
+            num_steps=10,
+            particles_per_rank=SIDE**3,
+        )
+
+    def test_dynamic_beats_baseline_edp(self, report):
+        assert report.edp_vs_baseline < 0.95
+
+    def test_dynamic_competitive_with_best_static(self, report):
+        assert report.edp_vs_best_static < 1.05
+
+    def test_policy_downclocks_memory_bound_functions(self, report):
+        assert report.policy.table["Density"] == 1005.0
+        assert report.policy.table["DomainDecompAndSync"] == 1005.0
+
+    def test_few_switches(self, report):
+        # Near-ties collapse + short-function exemption keep switching rare.
+        assert report.switch_count <= 3 * report.dynamic_run.num_steps
+
+    def test_constrained_tuning_is_pareto(self):
+        """Energy savings under a tight slowdown budget: a point no static
+        frequency reaches (static low-clock violates the budget, static
+        nominal saves nothing)."""
+        report = tune_per_function(
+            MINIHPC,
+            SUBSONIC_TURBULENCE,
+            num_cards=2,
+            freqs_mhz=FREQS,
+            num_steps=10,
+            particles_per_rank=SIDE**3,
+            objective="energy",
+            max_slowdown=1.03,
+        )
+        dilation = report.dynamic_seconds / report.baseline_seconds
+        assert dilation < 1.04  # honours the budget (plus switch overhead)
+        assert report.edp_vs_baseline < 0.97  # and still saves energy
+        # Compute-bound kernels stay fast, memory-bound ones down-clock.
+        assert report.policy.table["MomentumEnergy"] == 1410.0
+        assert report.policy.table["Density"] == 1005.0

@@ -1,0 +1,17 @@
+PYTHON ?= python
+PYTEST := PYTHONPATH=src $(PYTHON) -m pytest
+
+.PHONY: test bench bench-smoke
+
+# Tier-1: the full unit/integration/property suite.
+test:
+	$(PYTEST) -x -q
+
+# The full benchmark harness (regenerates every table/figure).
+bench:
+	$(PYTEST) benchmarks -q
+
+# CI-sized benchmark subset: only the *smoke* variants, which finish in
+# seconds and still assert each benchmark's qualitative shape.
+bench-smoke:
+	$(PYTEST) benchmarks -q -k smoke

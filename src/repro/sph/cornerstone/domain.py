@@ -50,6 +50,10 @@ class SyncResult:
     rank_key_ranges: list[tuple[int, int]]
     #: The cornerstone leaf array of the global tree.
     leaves: np.ndarray
+    #: The SFC sort permutation applied to the particle set
+    #: (``new[k] = old[order[k]]``), so per-particle caches — e.g. the
+    #: Verlet neighbor list — can follow the relabeling.
+    order: np.ndarray | None = None
 
     def owned_count(self, rank: int) -> int:
         """Number of particles owned by ``rank``."""
@@ -93,6 +97,7 @@ class DomainDecomposition:
             rank_ranges=rank_ranges,
             rank_key_ranges=rank_key_ranges,
             leaves=leaves,
+            order=order,
         )
         return self.last_sync
 

@@ -25,7 +25,8 @@ from repro.sph.box import Box
 from repro.sph.cornerstone.domain import DomainDecomposition
 from repro.sph.hooks import ProfilingHooks
 from repro.sph.kernels.cubic_spline import CubicSplineKernel
-from repro.sph.neighbors import PairList, find_neighbors
+from repro.sph.neighbors import HalfPairList, PairList, find_neighbors
+from repro.sph.pair_cache import StepContext
 from repro.sph.particles import ParticleSet
 from repro.sph.physics import (
     compute_density,
@@ -137,6 +138,23 @@ class DistributedHydro:
             n_particles=pairs.n_particles,
         )
 
+    def _restrict_half(self, pairs: HalfPairList, n_owned: int) -> HalfPairList:
+        """Keep undirected pairs with at least one owned endpoint.
+
+        Owned rows then accumulate *complete* sums (every pair touching an
+        owned particle is present); halo rows may be partial, but only the
+        owned prefix ``[:n_owned]`` is ever scattered back to the global
+        arrays, so the garbage halo sums are never observed.
+        """
+        keep = (pairs.i < n_owned) | (pairs.j < n_owned)
+        return HalfPairList(
+            i=pairs.i[keep],
+            j=pairs.j[keep],
+            dx=pairs.dx[keep],
+            r=pairs.r[keep],
+            n_particles=pairs.n_particles,
+        )
+
     # -- the step -------------------------------------------------------------------
 
     def step(
@@ -169,20 +187,28 @@ class DistributedHydro:
             )
 
         with hooks.region("FindNeighbors"):
-            rank_pairs: list[PairList] = []
+            # Each rank searches its local (owned + halo) set once per step
+            # — local membership changes with the decomposition, so the
+            # serial path's cross-step Verlet cache does not apply here —
+            # and shares one StepContext (kernel values, IAD vectors)
+            # across all subsequent loop functions.
+            rank_ctxs: list[StepContext] = []
             for rank in range(self.n_ranks):
                 lps = self._make_local(ps, local_idx[rank])
-                pairs = self._restrict_pairs(
-                    find_neighbors(lps.pos, lps.h, self.box), n_owned[rank]
+                half = self._restrict_half(
+                    find_neighbors(lps.pos, lps.h, self.box, half=True),
+                    n_owned[rank],
                 )
-                rank_pairs.append(pairs)
-                counts = pairs.neighbor_counts()[: n_owned[rank]]
+                rank_ctxs.append(StepContext(half, lps.h, self.kernel))
+                # Owned rows see every pair touching them, so the
+                # undirected degree equals the directed neighbour count.
+                counts = half.neighbor_counts()[: n_owned[rank]]
                 ps.nc[owned_global[rank]] = counts
 
         with hooks.region("Density"):
             for rank in range(self.n_ranks):
                 lps = self._make_local(ps, local_idx[rank])
-                compute_density(lps, rank_pairs[rank], self.kernel)
+                compute_density(lps, rank_ctxs[rank], self.kernel)
                 self._scatter(
                     ps, lps, owned_global[rank], n_owned[rank], ("rho",)
                 )
@@ -200,7 +226,7 @@ class DistributedHydro:
         with hooks.region("IADVelocityDivCurl"):
             for rank in range(self.n_ranks):
                 lps = self._make_local(ps, local_idx[rank])
-                compute_iad_and_divcurl(lps, rank_pairs[rank], self.kernel)
+                compute_iad_and_divcurl(lps, rank_ctxs[rank], self.kernel)
                 self._scatter(
                     ps, lps, owned_global[rank], n_owned[rank],
                     ("div_v", "curl_v"),
@@ -215,7 +241,7 @@ class DistributedHydro:
             for rank in range(self.n_ranks):
                 lps = self._make_local(ps, local_idx[rank])
                 compute_momentum_energy(
-                    lps, rank_pairs[rank], self.kernel, av_alpha=self.av_alpha
+                    lps, rank_ctxs[rank], self.kernel, av_alpha=self.av_alpha
                 )
                 self._scatter(
                     ps, lps, owned_global[rank], n_owned[rank], ()
@@ -255,7 +281,7 @@ class DistributedHydro:
         self.comm_history.append(comm)
         self._dt_prev = dt
         self._step += 1
-        n_pairs = sum(p.n_pairs for p in rank_pairs)
+        n_pairs = sum(c.pairs.n_pairs for c in rank_ctxs)
         return StepStats(
             step=self._step,
             dt=dt,

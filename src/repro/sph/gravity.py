@@ -184,6 +184,45 @@ class BarnesHutGravity:
         for child in node.children:
             self._traverse(child, remain, pts, acc)
 
+    def potential(self) -> float:
+        """Total gravitational potential energy via the tree (monopole).
+
+        Same opening criterion as :meth:`acceleration`, so the Evrard
+        diagnostic no longer needs the O(N^2) direct sum in the hot loop
+        (:func:`direct_sum_potential` remains the test oracle).  Returns
+        ``0.5 * sum_i m_i phi_i`` with Plummer-softened ``phi``.
+        """
+        phi = np.zeros(len(self._pos))
+        self._traverse_potential(0, np.arange(len(self._pos)), phi)
+        return float(0.5 * np.sum(self._mass * phi))
+
+    def _traverse_potential(
+        self, node_id: int, active: np.ndarray, phi: np.ndarray
+    ) -> None:
+        if len(active) == 0:
+            return
+        node = self.nodes[node_id]
+        delta = node.com[None, :] - self._pos[active]
+        dist2 = np.einsum("ij,ij->i", delta, delta)
+        accepted = (2.0 * node.half) ** 2 < (self.theta**2 * dist2)
+        if node.is_leaf:
+            src_idx = node._indices  # type: ignore[attr-defined]
+            d = self._pos[src_idx][None, :, :] - self._pos[active][:, None, :]
+            d2 = np.einsum("ijk,ijk->ij", d, d)
+            self_mask = d2 < 1e-24
+            inv_d = (d2 + self.eps**2) ** -0.5
+            inv_d[self_mask] = 0.0
+            phi[active] += -self.G * inv_d @ self._mass[src_idx]
+            return
+        take = active[accepted]
+        if len(take):
+            phi[take] += -self.G * node.mass / np.sqrt(
+                dist2[accepted] + self.eps**2
+            )
+        remain = active[~accepted]
+        for child in node.children:
+            self._traverse_potential(child, remain, phi)
+
     def _leaf_direct(
         self, node: _BhNode, active: np.ndarray, pts: np.ndarray, acc: np.ndarray
     ) -> None:

@@ -1,8 +1,17 @@
 """Neighbor search: brute force and cell-list implementations.
 
-Produces directed pair lists ``(i, j)`` with separation below the pair
-cutoff ``2 * max(h_i, h_j)`` — the union support needed by symmetrized SPH
-sums (each term is then masked by its own kernel's compact support).
+Produces pair lists with separation below the pair cutoff
+``2 * max(h_i, h_j)`` — the union support needed by symmetrized SPH sums
+(each term is then masked by its own kernel's compact support).  Two pair
+representations exist:
+
+* :class:`PairList` — *directed* pairs ``(i, j)`` and ``(j, i)`` both
+  present.  This is the oracle representation the tests cross-validate
+  against, and the format every physics kernel accepted historically.
+* :class:`HalfPairList` — *undirected* pairs stored once with ``i < j``.
+  Halves pair memory and kernel evaluations; consumers accumulate both
+  gather targets with symmetric scatter-adds (see
+  :mod:`repro.sph.pair_cache`).
 
 The cell list is the production path (``FindNeighbors`` in the SPH-EXA
 function inventory); the O(N^2) brute force is the oracle the tests
@@ -21,6 +30,18 @@ import numpy as np
 from repro.errors import SimulationError
 from repro.sph.box import Box
 from repro.sph.kernels.cubic_spline import SUPPORT_RADIUS
+
+#: Below this particle count ``find_neighbors`` uses the O(N^2) brute
+#: force instead of the cell list.  At small N the brute force's single
+#: fused distance pass beats the cell list's binning/stencil overhead;
+#: the crossover sits near a few hundred particles on NumPy, so 128 keeps
+#: a comfortable margin while still covering every tiny test problem.
+BRUTE_FORCE_MAX_N = 128
+
+#: Cap on the total linked-cell count.  ``coords @ strides`` silently
+#: wraps int64 beyond this, producing wrong (not just slow) pair lists,
+#: so the cell list refuses instead.
+_MAX_TOTAL_CELLS = 2**62
 
 
 @dataclass(frozen=True)
@@ -46,30 +67,92 @@ class PairList:
         return np.bincount(self.i, minlength=self.n_particles)
 
 
-def _finalize_pairs(
+@dataclass(frozen=True)
+class HalfPairList:
+    """Undirected interacting pairs, stored once with ``i < j``.
+
+    Geometry follows the directed convention for the stored direction:
+    ``dx[k] = pos[i[k]] - pos[j[k]]`` (minimum image), ``r[k] = |dx[k]|``.
+    The mirrored pair ``(j, i)`` has displacement ``-dx``.
+    """
+
+    i: np.ndarray
+    j: np.ndarray
+    dx: np.ndarray
+    r: np.ndarray
+    n_particles: int
+
+    @property
+    def n_pairs(self) -> int:
+        """Number of undirected pairs (half the directed count)."""
+        return len(self.i)
+
+    def neighbor_counts(self) -> np.ndarray:
+        """Per-particle neighbor counts (each pair counts for both ends)."""
+        return np.bincount(self.i, minlength=self.n_particles) + np.bincount(
+            self.j, minlength=self.n_particles
+        )
+
+    def to_directed(self) -> PairList:
+        """Expand to the equivalent directed :class:`PairList`."""
+        return PairList(
+            i=np.concatenate([self.i, self.j]),
+            j=np.concatenate([self.j, self.i]),
+            dx=np.concatenate([self.dx, -self.dx]),
+            r=np.concatenate([self.r, self.r]),
+            n_particles=self.n_particles,
+        )
+
+
+def _pair_geometry(
     pos: np.ndarray, h: np.ndarray, box: Box, i: np.ndarray, j: np.ndarray
-) -> PairList:
-    """Filter candidate pairs by the union cutoff and build geometry."""
-    keep = i != j
-    i, j = i[keep], j[keep]
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Filter candidate index pairs by the union cutoff; return geometry."""
     dx = box.displacement(pos[i] - pos[j])
     r2 = np.einsum("ij,ij->i", dx, dx)
     cutoff = SUPPORT_RADIUS * np.maximum(h[i], h[j])
     keep = r2 < cutoff**2
-    i, j, dx, r2 = i[keep], j[keep], dx[keep], r2[keep]
-    return PairList(i=i, j=j, dx=dx, r=np.sqrt(r2), n_particles=len(pos))
+    return i[keep], j[keep], dx[keep], np.sqrt(r2[keep])
 
 
-def brute_force_pairs(pos: np.ndarray, h: np.ndarray, box: Box) -> PairList:
-    """All-pairs O(N^2) neighbor search (test oracle, small N only)."""
+def _finalize_pairs(
+    pos: np.ndarray,
+    h: np.ndarray,
+    box: Box,
+    i: np.ndarray,
+    j: np.ndarray,
+    half: bool = False,
+) -> PairList | HalfPairList:
+    """Deduplicate/orient candidates, filter by cutoff, build geometry."""
+    keep = (i < j) if half else (i != j)
+    i, j, dx, r = _pair_geometry(pos, h, box, i[keep], j[keep])
+    cls = HalfPairList if half else PairList
+    return cls(i=i, j=j, dx=dx, r=r, n_particles=len(pos))
+
+
+def brute_force_pairs(
+    pos: np.ndarray, h: np.ndarray, box: Box, half: bool = False
+) -> PairList | HalfPairList:
+    """All-pairs O(N^2) neighbor search (test oracle, small N only).
+
+    Enumerates only the strict upper triangle (``np.triu_indices``) and
+    mirrors the surviving half pairs when a directed list is requested —
+    half the candidate memory and distance work of the former full
+    ``meshgrid`` (which also carried the i == j diagonal).
+    """
     n = len(pos)
     if n != len(h):
         raise SimulationError("pos and h length mismatch")
-    ii, jj = np.meshgrid(np.arange(n), np.arange(n), indexing="ij")
-    return _finalize_pairs(pos, h, box, ii.ravel(), jj.ravel())
+    iu, ju = np.triu_indices(n, k=1)
+    i, j, dx, r = _pair_geometry(pos, h, box, iu, ju)
+    if half:
+        return HalfPairList(i=i, j=j, dx=dx, r=r, n_particles=n)
+    return HalfPairList(i=i, j=j, dx=dx, r=r, n_particles=n).to_directed()
 
 
-def cell_list_pairs(pos: np.ndarray, h: np.ndarray, box: Box) -> PairList:
+def cell_list_pairs(
+    pos: np.ndarray, h: np.ndarray, box: Box, half: bool = False
+) -> PairList | HalfPairList:
     """Linked-cell neighbor search with a 27-cell stencil."""
     n = len(pos)
     if n != len(h):
@@ -82,14 +165,27 @@ def cell_list_pairs(pos: np.ndarray, h: np.ndarray, box: Box) -> PairList:
         origin = np.full(3, box.lo)
         extent = np.full(3, box.length)
     else:
-        origin = pos.min(axis=0)
-        extent = np.maximum(pos.max(axis=0) - origin, 1e-300)
+        # Open boxes anchor the grid at the box's own (known) bounds so
+        # successive calls bin identically; only particles that escaped
+        # the nominal box extend the grid beyond them.
+        lo = np.minimum(pos.min(axis=0), box.lo)
+        hi = np.maximum(pos.max(axis=0), box.hi)
+        origin = lo
+        extent = np.maximum(hi - lo, 1e-300)
 
     ncell = np.maximum((extent / cutoff).astype(np.int64), 1)
+    total_cells = int(ncell[0]) * int(ncell[1]) * int(ncell[2])  # Python ints
+    if total_cells > _MAX_TOTAL_CELLS:
+        raise SimulationError(
+            f"cell grid {tuple(int(c) for c in ncell)} overflows the int64 "
+            f"cell index: the pair cutoff {cutoff:.3e} is too small for the "
+            f"domain extent {tuple(float(e) for e in np.round(extent, 6))}; "
+            "increase the smoothing lengths or shrink the domain"
+        )
     if box.periodic and np.any(ncell < 3):
         # With fewer than 3 cells per axis the periodic 27-stencil would
         # visit cells twice; the problem is tiny, brute force is exact.
-        return brute_force_pairs(pos, h, box)
+        return brute_force_pairs(pos, h, box, half=half)
     width = extent / ncell
 
     coords = np.floor((pos - origin) / width).astype(np.int64)
@@ -134,16 +230,19 @@ def cell_list_pairs(pos: np.ndarray, h: np.ndarray, box: Box) -> PairList:
 
     if not i_parts:
         empty = np.zeros(0, dtype=np.int64)
-        return PairList(
+        cls = HalfPairList if half else PairList
+        return cls(
             i=empty, j=empty, dx=np.zeros((0, 3)), r=np.zeros(0), n_particles=n
         )
     return _finalize_pairs(
-        pos, h, box, np.concatenate(i_parts), np.concatenate(j_parts)
+        pos, h, box, np.concatenate(i_parts), np.concatenate(j_parts), half=half
     )
 
 
-def find_neighbors(pos: np.ndarray, h: np.ndarray, box: Box) -> PairList:
+def find_neighbors(
+    pos: np.ndarray, h: np.ndarray, box: Box, half: bool = False
+) -> PairList | HalfPairList:
     """The production neighbor search (cell list with brute-force fallback)."""
-    if len(pos) <= 64:
-        return brute_force_pairs(pos, h, box)
-    return cell_list_pairs(pos, h, box)
+    if len(pos) <= BRUTE_FORCE_MAX_N:
+        return brute_force_pairs(pos, h, box, half=half)
+    return cell_list_pairs(pos, h, box, half=half)

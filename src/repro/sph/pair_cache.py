@@ -1,0 +1,299 @@
+"""The per-step pair pipeline cache (Verlet skin list + kernel memoization).
+
+Three reuse layers sit between the neighbor search and the physics
+kernels, mirroring how SPH-EXA earns its throughput:
+
+* **Half-pair lists** (:class:`~repro.sph.neighbors.HalfPairList`) store
+  each interacting pair once; consumers accumulate both gather targets
+  with the symmetric scatter-adds below.  Pairwise antisymmetry — and so
+  momentum conservation to round-off — is preserved exactly, because the
+  ``i`` and ``j`` contributions of one pair are computed from the same
+  per-pair term.
+* **Verlet skin caching** (:class:`VerletList`): the neighbor search runs
+  with an inflated cutoff ``2 max(h_i, h_j) + skin`` and the candidate
+  list is reused until particles have moved (or smoothing lengths have
+  grown) enough to possibly change the answer — the classic
+  ``max_disp > skin/2`` criterion, extended with an ``h``-growth term so
+  adaptive smoothing lengths can never invalidate the cache silently.
+  Each query re-filters the cached candidates against the *exact*
+  per-pair cutoff, so the returned pair set is identical to a fresh
+  search (the property tests assert this).
+* **Per-step memoization** (:class:`StepContext`): ``W(r, h_i)``,
+  ``W(r, h_j)``, ``dW/dh`` and the IAD gradient vectors ``A_i``/``A_j``
+  are evaluated once per step and shared by ``Density``,
+  ``IADVelocityDivCurl``, ``MomentumEnergy`` and the grad-h correction
+  (previously each consumer re-evaluated them from scratch).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.sph.box import Box
+from repro.sph.kernels.cubic_spline import SUPPORT_RADIUS, CubicSplineKernel
+from repro.sph.neighbors import HalfPairList, _pair_geometry, find_neighbors
+
+#: Default Verlet skin, as a fraction of the mean kernel support.
+DEFAULT_SKIN_FACTOR = 0.3
+
+
+# -- symmetric scatter-add helpers ---------------------------------------------
+
+
+def scatter_sum(idx: np.ndarray, weights: np.ndarray, n: int) -> np.ndarray:
+    """Sum ``weights`` into ``n`` scalar bins at ``idx`` (vectorized)."""
+    return np.bincount(idx, weights=weights, minlength=n)
+
+
+def scatter_sum_rows(idx: np.ndarray, rows: np.ndarray, n: int) -> np.ndarray:
+    """Sum ``(k, m)`` rows into an ``(n, m)`` array at row indices ``idx``.
+
+    One flattened ``bincount`` over ``idx * m + column`` — the shared
+    replacement for the per-axis Python loops the physics kernels used to
+    carry (and much faster than ``np.add.at``, which is not vectorized).
+    """
+    k, m = rows.shape
+    flat_idx = (idx[:, None] * m + np.arange(m)).ravel()
+    out = np.bincount(flat_idx, weights=rows.ravel(), minlength=n * m)
+    return out.reshape(n, m)
+
+
+def scatter_sum_sym(
+    i: np.ndarray,
+    j: np.ndarray,
+    terms_i: np.ndarray,
+    terms_j: np.ndarray,
+    n: int,
+) -> np.ndarray:
+    """Half-pair scalar accumulation: ``terms_i`` onto ``i``, ``terms_j``
+    onto ``j``, in a single pass."""
+    return np.bincount(
+        np.concatenate([i, j]),
+        weights=np.concatenate([terms_i, terms_j]),
+        minlength=n,
+    )
+
+
+def scatter_sum_sym_rows(
+    i: np.ndarray,
+    j: np.ndarray,
+    rows_i: np.ndarray,
+    rows_j: np.ndarray,
+    n: int,
+) -> np.ndarray:
+    """Half-pair row accumulation: ``rows_i`` onto ``i``, ``rows_j`` onto
+    ``j``, in a single flattened pass."""
+    return scatter_sum_rows(
+        np.concatenate([i, j]), np.concatenate([rows_i, rows_j]), n
+    )
+
+
+# -- the Verlet skin list ------------------------------------------------------
+
+
+class VerletList:
+    """Amortized neighbor search with a skin-inflated candidate cache.
+
+    Parameters
+    ----------
+    box:
+        Simulation box (periodic displacement handling).
+    skin_factor:
+        Skin width as a fraction of the mean kernel support
+        (``skin = skin_factor * 2 * mean(h)`` at build time).  ``0``
+        disables caching: every query is a fresh search.
+
+    Notes
+    -----
+    The rebuild criterion tracks, per particle, an *effective* drift ::
+
+        e_i = |x_i - x_i^build| + 2 * max(h_i - h_i^build, 0)
+
+    and rebuilds when ``max_i e_i > skin / 2``.  The displacement term is
+    the textbook Verlet condition (two particles approaching each other
+    contribute ``skin/2`` each); the second term accounts for per-pair
+    cutoff growth when smoothing lengths adapt, so the criterion subsumes
+    "``h`` grew past the cached cutoff" exactly rather than via the
+    global maximum.  Shrinking ``h`` never forces a rebuild.
+
+    A query against a valid cache re-filters the candidates by the exact
+    per-pair cutoff ``2 max(h_i, h_j)``, so the returned
+    :class:`~repro.sph.neighbors.HalfPairList` always equals a fresh
+    search's, independent of when the last rebuild happened.
+    """
+
+    def __init__(self, box: Box, skin_factor: float = DEFAULT_SKIN_FACTOR) -> None:
+        if skin_factor < 0:
+            raise SimulationError(
+                f"skin factor must be non-negative, got {skin_factor!r}"
+            )
+        self.box = box
+        self.skin_factor = skin_factor
+        #: Number of candidate-list (re)builds performed.
+        self.n_builds = 0
+        #: Number of queries served (builds + cache reuses).
+        self.n_queries = 0
+        self._cand_i: np.ndarray | None = None
+        self._cand_j: np.ndarray | None = None
+        self._ref_pos: np.ndarray | None = None
+        self._ref_h: np.ndarray | None = None
+        self._skin = 0.0
+
+    @property
+    def rebuild_fraction(self) -> float:
+        """Builds per query (1.0 = no amortization yet)."""
+        return self.n_builds / self.n_queries if self.n_queries else 0.0
+
+    def invalidate(self) -> None:
+        """Drop the cached candidate list (next query rebuilds)."""
+        self._cand_i = None
+        self._cand_j = None
+        self._ref_pos = None
+        self._ref_h = None
+
+    def reorder(self, order: np.ndarray) -> None:
+        """Follow a particle permutation (``new[k] = old[order[k]]``).
+
+        The SFC sort in ``DomainDecompAndSync`` relabels particles every
+        step; remapping the cached candidate indices through the inverse
+        permutation keeps the cache valid across sorts.
+        """
+        if self._cand_i is None:
+            return
+        if len(order) != len(self._ref_pos):
+            self.invalidate()
+            return
+        inverse = np.empty_like(order)
+        inverse[order] = np.arange(len(order), dtype=order.dtype)
+        i = inverse[self._cand_i]
+        j = inverse[self._cand_j]
+        # Keep the i < j half-pair orientation after relabeling.
+        self._cand_i = np.minimum(i, j)
+        self._cand_j = np.maximum(i, j)
+        self._ref_pos = self._ref_pos[order]
+        self._ref_h = self._ref_h[order]
+
+    def query(self, pos: np.ndarray, h: np.ndarray) -> HalfPairList:
+        """Exact half-pair list for the current positions and supports."""
+        self.n_queries += 1
+        if self._needs_rebuild(pos, h):
+            self._build(pos, h)
+        i, j, dx, r = _pair_geometry(pos, h, self.box, self._cand_i, self._cand_j)
+        return HalfPairList(i=i, j=j, dx=dx, r=r, n_particles=len(pos))
+
+    def _needs_rebuild(self, pos: np.ndarray, h: np.ndarray) -> bool:
+        if self._cand_i is None or len(pos) != len(self._ref_pos):
+            return True
+        if self._skin <= 0.0:
+            return True
+        drift = self.box.displacement(pos - self._ref_pos)
+        effective = np.sqrt(np.einsum("ij,ij->i", drift, drift))
+        effective += SUPPORT_RADIUS * np.maximum(h - self._ref_h, 0.0)
+        return bool(effective.max() > 0.5 * self._skin)
+
+    def _build(self, pos: np.ndarray, h: np.ndarray) -> None:
+        self.n_builds += 1
+        self._skin = self.skin_factor * SUPPORT_RADIUS * float(np.mean(h))
+        # Inflating every h by skin/2h-units makes the per-pair candidate
+        # cutoff exactly 2 max(h_i, h_j) + skin.
+        h_search = h + self._skin / SUPPORT_RADIUS
+        candidates = find_neighbors(pos, h_search, self.box, half=True)
+        self._cand_i = candidates.i
+        self._cand_j = candidates.j
+        self._ref_pos = pos.copy()
+        self._ref_h = h.copy()
+
+
+# -- the per-step kernel cache -------------------------------------------------
+
+
+class StepContext:
+    """Memoized per-pair kernel quantities for one propagator step.
+
+    Wraps a :class:`~repro.sph.neighbors.HalfPairList` plus the smoothing
+    lengths the step runs with, and lazily evaluates (once each):
+
+    ``w_i``/``w_j``
+        ``W(r, h_i)`` and ``W(r, h_j)`` per pair — shared by ``Density``,
+        ``IADVelocityDivCurl`` and the IAD gradient vectors.
+    ``dwdh_i``/``dwdh_j``
+        ``dW/dh`` per pair, for the grad-h (Omega) correction.
+    :meth:`iad_vectors`
+        The corrected gradient vectors ``A_i``/``A_j``, keyed on the
+        identity of the ``c_iad`` matrix array so the cache can never
+        serve vectors computed from stale matrices (the distributed
+        driver refreshes halo matrices between IAD and MomentumEnergy,
+        producing a new array and therefore a recompute).
+    """
+
+    def __init__(
+        self,
+        pairs: HalfPairList,
+        h: np.ndarray,
+        kernel=CubicSplineKernel,
+    ) -> None:
+        self.pairs = pairs
+        self.h = h
+        self.kernel = kernel
+        self._w_i: np.ndarray | None = None
+        self._w_j: np.ndarray | None = None
+        self._dwdh_i: np.ndarray | None = None
+        self._dwdh_j: np.ndarray | None = None
+        self._iad_key: np.ndarray | None = None
+        self._iad: tuple[np.ndarray, np.ndarray] | None = None
+
+    @property
+    def n_particles(self) -> int:
+        return self.pairs.n_particles
+
+    @property
+    def w_i(self) -> np.ndarray:
+        """``W(r, h_i)`` per half pair (memoized)."""
+        if self._w_i is None:
+            self._w_i = self.kernel.value(self.pairs.r, self.h[self.pairs.i])
+        return self._w_i
+
+    @property
+    def w_j(self) -> np.ndarray:
+        """``W(r, h_j)`` per half pair (memoized)."""
+        if self._w_j is None:
+            self._w_j = self.kernel.value(self.pairs.r, self.h[self.pairs.j])
+        return self._w_j
+
+    @property
+    def dwdh_i(self) -> np.ndarray:
+        """``dW/dh`` at ``h_i`` per half pair (memoized)."""
+        if self._dwdh_i is None:
+            from repro.sph.physics.grad_h import kernel_dh
+
+            self._dwdh_i = kernel_dh(self.pairs.r, self.h[self.pairs.i], self.kernel)
+        return self._dwdh_i
+
+    @property
+    def dwdh_j(self) -> np.ndarray:
+        """``dW/dh`` at ``h_j`` per half pair (memoized)."""
+        if self._dwdh_j is None:
+            from repro.sph.physics.grad_h import kernel_dh
+
+            self._dwdh_j = kernel_dh(self.pairs.r, self.h[self.pairs.j], self.kernel)
+        return self._dwdh_j
+
+    def iad_vectors(self, c_iad: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """``A_i,ij`` and ``A_j,ij`` per half pair (memoized per matrix set).
+
+        Both vectors point along ``x_j - x_i``; the mirrored pair's
+        vectors are their exact negatives, which is what makes the
+        symmetric momentum scatter conserve to round-off.
+        """
+        # Keyed by array *identity* (holding the reference, so a freed
+        # array's address can never be recycled into a false cache hit).
+        if self._iad is None or self._iad_key is not c_iad:
+            d = -self.pairs.dx  # x_j - x_i
+            a_i = np.einsum("kab,kb->ka", c_iad[self.pairs.i], d)
+            a_i *= self.w_i[:, None]
+            a_j = np.einsum("kab,kb->ka", c_iad[self.pairs.j], d)
+            a_j *= self.w_j[:, None]
+            self._iad = (a_i, a_j)
+            self._iad_key = c_iad
+        return self._iad

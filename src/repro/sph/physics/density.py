@@ -6,6 +6,12 @@ Gather formulation with each particle's own smoothing length::
 
 The kernel's compact support makes out-of-range pair terms vanish, so the
 union pair list can be used unmasked.
+
+Accepts either a directed :class:`~repro.sph.neighbors.PairList` (the
+oracle path) or a :class:`~repro.sph.pair_cache.StepContext` over a
+half-pair list, where each undirected pair contributes to both ends in
+one symmetric scatter pass and the kernel values are memoized for the
+rest of the step.
 """
 
 from __future__ import annotations
@@ -14,13 +20,30 @@ import numpy as np
 
 from repro.sph.kernels.cubic_spline import CubicSplineKernel
 from repro.sph.neighbors import PairList
+from repro.sph.pair_cache import StepContext, scatter_sum_sym
 from repro.sph.particles import ParticleSet
 
 
+def _density_cached(ps: ParticleSet, ctx: StepContext) -> None:
+    hp = ctx.pairs
+    rho = scatter_sum_sym(
+        hp.i,
+        hp.j,
+        ps.mass[hp.j] * ctx.w_i,
+        ps.mass[hp.i] * ctx.w_j,
+        ps.n,
+    )
+    rho += ps.mass * ctx.kernel.value(np.zeros(ps.n), ps.h)
+    ps.rho = rho
+
+
 def compute_density(
-    ps: ParticleSet, pairs: PairList, kernel=CubicSplineKernel
+    ps: ParticleSet, pairs: PairList | StepContext, kernel=CubicSplineKernel
 ) -> None:
     """Fill ``ps.rho`` from the pair list."""
+    if isinstance(pairs, StepContext):
+        _density_cached(ps, pairs)
+        return
     w = kernel.value(pairs.r, ps.h[pairs.i])
     contrib = ps.mass[pairs.j] * w
     rho = np.bincount(pairs.i, weights=contrib, minlength=ps.n).astype(

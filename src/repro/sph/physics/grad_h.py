@@ -21,6 +21,7 @@ import numpy as np
 
 from repro.sph.kernels.cubic_spline import CubicSplineKernel, _SIGMA_3D
 from repro.sph.neighbors import PairList
+from repro.sph.pair_cache import StepContext, scatter_sum_sym
 from repro.sph.particles import ParticleSet
 
 
@@ -32,7 +33,7 @@ def kernel_dh(r: np.ndarray, h: np.ndarray, kernel=CubicSplineKernel) -> np.ndar
 
 
 def compute_omega(
-    ps: ParticleSet, pairs: PairList, kernel=CubicSplineKernel
+    ps: ParticleSet, pairs: PairList | StepContext, kernel=CubicSplineKernel
 ) -> np.ndarray:
     """The grad-h correction factor per particle (requires ``ps.rho``).
 
@@ -40,10 +41,22 @@ def compute_omega(
     raw estimate can stray far from 1, and production codes clamp it the
     same way to keep the equations well-posed.
     """
-    dwdh = kernel_dh(pairs.r, ps.h[pairs.i], kernel)
-    sums = np.bincount(
-        pairs.i, weights=ps.mass[pairs.j] * dwdh, minlength=ps.n
-    ).astype(np.float64)
+    if isinstance(pairs, StepContext):
+        hp = pairs.pairs
+        # Each end sums dW/dh at its own smoothing length (memoized).
+        sums = scatter_sum_sym(
+            hp.i,
+            hp.j,
+            ps.mass[hp.j] * pairs.dwdh_i,
+            ps.mass[hp.i] * pairs.dwdh_j,
+            ps.n,
+        )
+        kernel = pairs.kernel
+    else:
+        dwdh = kernel_dh(pairs.r, ps.h[pairs.i], kernel)
+        sums = np.bincount(
+            pairs.i, weights=ps.mass[pairs.j] * dwdh, minlength=ps.n
+        ).astype(np.float64)
     # Self-contribution: dW/dh at r = 0 is -3 sigma / h^4 * w(0).
     sums += ps.mass * kernel_dh(np.zeros(ps.n), ps.h, kernel)
     omega = 1.0 + ps.h / (3.0 * np.maximum(ps.rho, 1e-300)) * sums

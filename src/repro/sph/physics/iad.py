@@ -13,6 +13,12 @@ corrected kernel-gradient estimate for pair (i, j) is then ::
 This module also computes the velocity divergence and curl with the same
 corrected gradients (they feed the Balsara viscosity switch), matching
 SPH-EXA's fused ``IADVelocityDivCurl`` kernel.
+
+With a :class:`~repro.sph.pair_cache.StepContext`, every sum runs over
+the half-pair list with symmetric scatter-adds (the moment matrix kernel
+term is even under i <-> j; the div/curl terms pick up the sign flips of
+``x_j - x_i`` and ``v_j - v_i`` together), and the gradient vectors
+computed here are memoized for ``MomentumEnergy`` to reuse.
 """
 
 from __future__ import annotations
@@ -21,6 +27,13 @@ import numpy as np
 
 from repro.sph.kernels.cubic_spline import CubicSplineKernel
 from repro.sph.neighbors import PairList
+from repro.sph.pair_cache import (
+    StepContext,
+    scatter_sum,
+    scatter_sum_rows,
+    scatter_sum_sym,
+    scatter_sum_sym_rows,
+)
 from repro.sph.particles import ParticleSet
 
 
@@ -40,10 +53,86 @@ def iad_vectors(
     return a_i, a_j
 
 
+def _invert_tau(tau: np.ndarray) -> np.ndarray:
+    """Regularize near-singular moment matrices, then invert.
+
+    Isolated particles and collinear neighbour sets produce singular
+    ``tau``; a small multiple of the trace-scaled identity keeps the
+    inversion well-posed.
+    """
+    trace = np.trace(tau, axis1=1, axis2=2)
+    scale = np.maximum(trace / 3.0, 1e-30)
+    eye = np.eye(3)[None, :, :]
+    det = np.linalg.det(tau)
+    bad = np.abs(det) < (1e-10 * scale**3)
+    tau[bad] += (1e-6 * scale[bad])[:, None, None] * eye
+    return np.linalg.inv(tau)
+
+
+def _iad_and_divcurl_cached(ps: ParticleSet, ctx: StepContext) -> None:
+    hp = ctx.pairs
+    i, j = hp.i, hp.j
+    d = -hp.dx  # x_j - x_i
+
+    # The six unique tau entries as (n_pairs, 6) rows, one symmetric
+    # scatter: the geometric factor d_a d_b is even under i <-> j, only
+    # the volume-weighted kernel value differs per side.
+    vol_w_i = (ps.mass[j] / ps.rho[j]) * ctx.w_i  # gathers onto i
+    vol_w_j = (ps.mass[i] / ps.rho[i]) * ctx.w_j  # gathers onto j
+    geom = np.stack(
+        [
+            d[:, 0] * d[:, 0],
+            d[:, 0] * d[:, 1],
+            d[:, 0] * d[:, 2],
+            d[:, 1] * d[:, 1],
+            d[:, 1] * d[:, 2],
+            d[:, 2] * d[:, 2],
+        ],
+        axis=1,
+    )
+    entries = scatter_sum_sym_rows(
+        i, j, geom * vol_w_i[:, None], geom * vol_w_j[:, None], ps.n
+    )
+    tau = np.empty((ps.n, 3, 3), dtype=np.float64)
+    tau[:, 0, 0] = entries[:, 0]
+    tau[:, 0, 1] = tau[:, 1, 0] = entries[:, 1]
+    tau[:, 0, 2] = tau[:, 2, 0] = entries[:, 2]
+    tau[:, 1, 1] = entries[:, 3]
+    tau[:, 1, 2] = tau[:, 2, 1] = entries[:, 4]
+    tau[:, 2, 2] = entries[:, 5]
+    ps.c_iad = _invert_tau(tau)
+
+    # Velocity divergence and curl with corrected gradients.  For the
+    # mirrored pair both v_ji and A flip sign, so each target's term
+    # keeps the same form with its own gradient vector.
+    a_i, a_j = ctx.iad_vectors(ps.c_iad)
+    v_ji = ps.vel[j] - ps.vel[i]
+    m_over_rho_i = ps.mass[j] / ps.rho[i]
+    m_over_rho_j = ps.mass[i] / ps.rho[j]
+    ps.div_v = scatter_sum_sym(
+        i,
+        j,
+        m_over_rho_i * np.einsum("ka,ka->k", v_ji, a_i),
+        m_over_rho_j * np.einsum("ka,ka->k", v_ji, a_j),
+        ps.n,
+    )
+    curl = scatter_sum_sym_rows(
+        i,
+        j,
+        np.cross(v_ji, a_i) * m_over_rho_i[:, None],
+        np.cross(v_ji, a_j) * m_over_rho_j[:, None],
+        ps.n,
+    )
+    ps.curl_v = np.linalg.norm(curl, axis=1)
+
+
 def compute_iad_and_divcurl(
-    ps: ParticleSet, pairs: PairList, kernel=CubicSplineKernel
+    ps: ParticleSet, pairs: PairList | StepContext, kernel=CubicSplineKernel
 ) -> None:
     """Fill ``ps.c_iad``, ``ps.div_v`` and ``ps.curl_v``."""
+    if isinstance(pairs, StepContext):
+        _iad_and_divcurl_cached(ps, pairs)
+        return
     d = -pairs.dx  # x_j - x_i
     w = kernel.value(pairs.r, ps.h[pairs.i])
     vol = ps.mass[pairs.j] / ps.rho[pairs.j]
@@ -53,30 +142,17 @@ def compute_iad_and_divcurl(
     tau = np.zeros((ps.n, 3, 3), dtype=np.float64)
     for a in range(3):
         for b in range(a, 3):
-            entry = np.bincount(
-                pairs.i, weights=weight * d[:, a] * d[:, b], minlength=ps.n
-            )
+            entry = scatter_sum(pairs.i, weight * d[:, a] * d[:, b], ps.n)
             tau[:, a, b] = entry
             tau[:, b, a] = entry
-
-    # Regularize near-singular matrices (isolated particles, collinear
-    # neighbour sets) before inversion.
-    trace = np.trace(tau, axis1=1, axis2=2)
-    scale = np.maximum(trace / 3.0, 1e-30)
-    eye = np.eye(3)[None, :, :]
-    det = np.linalg.det(tau)
-    bad = np.abs(det) < (1e-10 * scale**3)
-    tau[bad] += (1e-6 * scale[bad])[:, None, None] * eye
-    ps.c_iad = np.linalg.inv(tau)
+    ps.c_iad = _invert_tau(tau)
 
     # Velocity divergence and curl with corrected gradients.
     a_i = np.einsum("kab,kb->ka", ps.c_iad[pairs.i], d) * w[:, None]
     v_ji = ps.vel[pairs.j] - ps.vel[pairs.i]
     m_over_rho_i = ps.mass[pairs.j] / ps.rho[pairs.i]
     div_terms = m_over_rho_i * np.einsum("ka,ka->k", v_ji, a_i)
-    ps.div_v = np.bincount(pairs.i, weights=div_terms, minlength=ps.n)
+    ps.div_v = scatter_sum(pairs.i, div_terms, ps.n)
     curl_vec = np.cross(v_ji, a_i) * m_over_rho_i[:, None]
-    curl = np.zeros((ps.n, 3))
-    for a in range(3):
-        curl[:, a] = np.bincount(pairs.i, weights=curl_vec[:, a], minlength=ps.n)
+    curl = scatter_sum_rows(pairs.i, curl_vec, ps.n)
     ps.curl_v = np.linalg.norm(curl, axis=1)

@@ -18,6 +18,13 @@ where ``xi`` is the pairwise-averaged Balsara factor.  Pairwise forces are
 exactly antisymmetric (each A flips sign under i<->j), so total momentum
 is conserved to round-off — one of the library's property tests.
 
+On the half-pair path (:class:`~repro.sph.pair_cache.StepContext`) each
+undirected pair's force term is computed once and scattered to both ends
+with opposite signs — antisymmetry holds *by construction*, not merely to
+evaluation-order round-off — and the IAD gradient vectors computed by
+``IADVelocityDivCurl`` earlier in the step are reused instead of being
+re-evaluated.
+
 The per-particle maximum signal velocity is stored for the subsequent
 ``Timestep`` function, mirroring SPH-EXA's kernel fusion.
 """
@@ -28,6 +35,13 @@ import numpy as np
 
 from repro.sph.kernels.cubic_spline import CubicSplineKernel
 from repro.sph.neighbors import PairList
+from repro.sph.pair_cache import (
+    StepContext,
+    scatter_sum,
+    scatter_sum_rows,
+    scatter_sum_sym,
+    scatter_sum_sym_rows,
+)
 from repro.sph.particles import ParticleSet
 from repro.sph.physics.iad import iad_vectors
 
@@ -44,9 +58,100 @@ def balsara_factor(ps: ParticleSet) -> np.ndarray:
     return abs_div / (abs_div + ps.curl_v + noise + 1e-300)
 
 
+def _pair_viscosity(
+    ps: ParticleSet,
+    i: np.ndarray,
+    j: np.ndarray,
+    v_ij: np.ndarray,
+    dx: np.ndarray,
+    r: np.ndarray,
+    av_alpha: float,
+    use_balsara: bool,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-pair AV strength ``Pi_ij`` and signal velocity ``v_sig``.
+
+    Both are symmetric under i <-> j (``w = v_ij . dx / r`` flips both
+    factors), so the half-pair path evaluates them once per pair.
+    """
+    r_safe = np.maximum(r, 1e-300)
+    w_pair = np.einsum("ka,ka->k", v_ij, dx) / r_safe
+    v_sig = ps.c[i] + ps.c[j] - 3.0 * w_pair
+    rho_bar = 0.5 * (ps.rho[i] + ps.rho[j])
+    if use_balsara:
+        bal = balsara_factor(ps)
+        xi = 0.5 * (bal[i] + bal[j])
+    else:
+        xi = np.ones(len(i))
+    visc = np.where(
+        w_pair < 0.0,
+        -0.5 * av_alpha * xi * v_sig * w_pair / rho_bar,
+        0.0,
+    )
+    return visc, v_sig
+
+
+def _momentum_energy_cached(
+    ps: ParticleSet,
+    ctx: StepContext,
+    av_alpha: float,
+    use_balsara: bool,
+    omega,
+) -> None:
+    hp = ctx.pairs
+    i, j = hp.i, hp.j
+    a_i, a_j = ctx.iad_vectors(ps.c_iad)
+    a_bar = 0.5 * (a_i + a_j)
+
+    if omega is None:
+        pr_i = ps.p[i] / ps.rho[i] ** 2
+        pr_j = ps.p[j] / ps.rho[j] ** 2
+    else:
+        pr_i = ps.p[i] / (omega[i] * ps.rho[i] ** 2)
+        pr_j = ps.p[j] / (omega[j] * ps.rho[j] ** 2)
+
+    v_ij = ps.vel[i] - ps.vel[j]
+    visc, v_sig = _pair_viscosity(
+        ps, i, j, v_ij, hp.dx, hp.r, av_alpha, use_balsara
+    )
+
+    # One force term per undirected pair; i gets -m_j T, j gets +m_i T
+    # (all A vectors flip sign under i <-> j, the scalar weights do not).
+    term = (
+        pr_i[:, None] * a_i + pr_j[:, None] * a_j + visc[:, None] * a_bar
+    )
+    ps.acc = scatter_sum_sym_rows(
+        i,
+        j,
+        -ps.mass[j][:, None] * term,
+        ps.mass[i][:, None] * term,
+        ps.n,
+    )
+
+    # Internal energy rate: each end pairs its own gradient vector with
+    # the shared viscous term (v_ij . A flips sign twice, so both ends'
+    # terms keep the same form).
+    grad_dot_i = np.einsum("ka,ka->k", v_ij, a_i)
+    grad_dot_j = np.einsum("ka,ka->k", v_ij, a_j)
+    grad_dot_bar = 0.5 * (grad_dot_i + grad_dot_j)
+    ps.du = scatter_sum_sym(
+        i,
+        j,
+        ps.mass[j] * (pr_i * grad_dot_i + 0.5 * visc * grad_dot_bar),
+        ps.mass[i] * (pr_j * grad_dot_j + 0.5 * visc * grad_dot_bar),
+        ps.n,
+    )
+
+    # Maximum signal velocity per particle, for the CFL condition.
+    v_sig_max = np.zeros(ps.n)
+    np.maximum.at(
+        v_sig_max, np.concatenate([i, j]), np.concatenate([v_sig, v_sig])
+    )
+    ps.v_sig_max = np.maximum(v_sig_max, ps.c)
+
+
 def compute_momentum_energy(
     ps: ParticleSet,
-    pairs: PairList,
+    pairs: PairList | StepContext,
     kernel=CubicSplineKernel,
     av_alpha: float = DEFAULT_AV_ALPHA,
     use_balsara: bool = True,
@@ -59,6 +164,10 @@ def compute_momentum_energy(
     become ``P / (Omega rho^2)``.  Pairwise antisymmetry — and therefore
     exact momentum conservation — is preserved either way.
     """
+    if isinstance(pairs, StepContext):
+        _momentum_energy_cached(ps, pairs, av_alpha, use_balsara, omega)
+        return
+
     a_i, a_j = iad_vectors(ps, pairs, kernel)
     a_bar = 0.5 * (a_i + a_j)
 
@@ -70,22 +179,9 @@ def compute_momentum_energy(
         pr_i = ps.p[i] / (omega[i] * ps.rho[i] ** 2)
         pr_j = ps.p[j] / (omega[j] * ps.rho[j] ** 2)
 
-    # Artificial viscosity.
     v_ij = ps.vel[i] - ps.vel[j]
-    r_safe = np.maximum(pairs.r, 1e-300)
-    w_pair = np.einsum("ka,ka->k", v_ij, pairs.dx) / r_safe
-    approaching = w_pair < 0.0
-    v_sig = ps.c[i] + ps.c[j] - 3.0 * w_pair
-    rho_bar = 0.5 * (ps.rho[i] + ps.rho[j])
-    if use_balsara:
-        bal = balsara_factor(ps)
-        xi = 0.5 * (bal[i] + bal[j])
-    else:
-        xi = np.ones(pairs.n_pairs)
-    visc = np.where(
-        approaching,
-        -0.5 * av_alpha * xi * v_sig * w_pair / rho_bar,
-        0.0,
+    visc, v_sig = _pair_viscosity(
+        ps, i, j, v_ij, pairs.dx, pairs.r, av_alpha, use_balsara
     )
 
     # Accelerations.
@@ -93,16 +189,13 @@ def compute_momentum_energy(
     pair_acc = -(m_j[:, None]) * (
         pr_i[:, None] * a_i + pr_j[:, None] * a_j + visc[:, None] * a_bar
     )
-    acc = np.zeros((ps.n, 3))
-    for axis in range(3):
-        acc[:, axis] = np.bincount(i, weights=pair_acc[:, axis], minlength=ps.n)
-    ps.acc = acc
+    ps.acc = scatter_sum_rows(i, pair_acc, ps.n)
 
     # Internal energy rate.
     grad_dot_i = np.einsum("ka,ka->k", v_ij, a_i)
     grad_dot_bar = np.einsum("ka,ka->k", v_ij, a_bar)
     du_terms = m_j * (pr_i * grad_dot_i + 0.5 * visc * grad_dot_bar)
-    ps.du = np.bincount(i, weights=du_terms, minlength=ps.n)
+    ps.du = scatter_sum(i, du_terms, ps.n)
 
     # Maximum signal velocity per particle, for the CFL condition.
     v_sig_max = np.full(ps.n, 0.0)

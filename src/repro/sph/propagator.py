@@ -10,6 +10,14 @@ and 5, each call wrapped in a profiling hook region::
 
 The hydro propagator (turbulence) includes driving; the gravity propagator
 (Evrard) includes Barnes-Hut self-gravity.
+
+The step pipeline runs over the pair cache layer
+(:mod:`repro.sph.pair_cache`): ``FindNeighbors`` queries a Verlet skin
+list (rebuilt only when particle drift or smoothing-length growth demands
+it, so its cost amortizes across steps) and hands the physics kernels a
+:class:`~repro.sph.pair_cache.StepContext` over an undirected half-pair
+list, in which kernel values and IAD gradient vectors are each evaluated
+once per step and shared by every consumer.
 """
 
 from __future__ import annotations
@@ -21,10 +29,10 @@ import numpy as np
 from repro.sph.box import Box
 from repro.sph.cornerstone.domain import DomainDecomposition
 from repro.sph.driving import TurbulenceDriver
-from repro.sph.gravity import BarnesHutGravity, direct_sum_potential
+from repro.sph.gravity import BarnesHutGravity
 from repro.sph.hooks import ProfilingHooks
 from repro.sph.kernels.cubic_spline import CubicSplineKernel
-from repro.sph.neighbors import find_neighbors
+from repro.sph.pair_cache import DEFAULT_SKIN_FACTOR, StepContext, VerletList
 from repro.sph.particles import ParticleSet
 from repro.sph.physics import (
     compute_density,
@@ -66,6 +74,9 @@ class StepStats:
     n_pairs: int
     mean_neighbors: float
     totals: ConservationTotals
+    #: Whether this step rebuilt the Verlet candidate list (always True
+    #: for drivers without a skin cache, e.g. the distributed path).
+    neighbors_rebuilt: bool = True
 
 
 class Propagator:
@@ -81,6 +92,9 @@ class Propagator:
         Optional turbulence driver (Subsonic Turbulence case).
     gravity:
         Whether to include Barnes-Hut self-gravity (Evrard case).
+    skin_factor:
+        Verlet skin width as a fraction of the mean kernel support; 0
+        rebuilds the neighbor list every step (the pre-cache behaviour).
     """
 
     def __init__(
@@ -97,6 +111,7 @@ class Propagator:
         gravity_eps: float = 0.02,
         use_grad_h: bool = False,
         kernel=CubicSplineKernel,
+        skin_factor: float = DEFAULT_SKIN_FACTOR,
     ) -> None:
         self.box = box
         self.domain = DomainDecomposition(box, n_ranks)
@@ -110,6 +125,7 @@ class Propagator:
         self.gravity_eps = gravity_eps
         self.use_grad_h = use_grad_h
         self.kernel = kernel
+        self.neighbor_list = VerletList(box, skin_factor)
         self._step = 0
         self._dt_prev: float | None = None
 
@@ -125,29 +141,34 @@ class Propagator:
     def step(self, ps: ParticleSet, hooks: ProfilingHooks) -> StepStats:
         """Advance the particle set by one time step."""
         with hooks.region("DomainDecompAndSync"):
-            self.domain.sync(ps)
+            sync = self.domain.sync(ps)
 
         with hooks.region("FindNeighbors"):
-            pairs = find_neighbors(ps.pos, ps.h, self.box)
+            builds_before = self.neighbor_list.n_builds
+            if sync.order is not None:
+                self.neighbor_list.reorder(sync.order)
+            pairs = self.neighbor_list.query(ps.pos, ps.h)
+            ctx = StepContext(pairs, ps.h, self.kernel)
             ps.nc = pairs.neighbor_counts()
+            rebuilt = self.neighbor_list.n_builds > builds_before
 
         with hooks.region("Density"):
-            compute_density(ps, pairs, self.kernel)
+            compute_density(ps, ctx)
 
         with hooks.region("EquationOfState"):
             ideal_gas_eos(ps, self.gamma)
 
         with hooks.region("IADVelocityDivCurl"):
-            compute_iad_and_divcurl(ps, pairs, self.kernel)
+            compute_iad_and_divcurl(ps, ctx)
 
         with hooks.region("MomentumEnergy"):
             omega = None
             if self.use_grad_h:
                 from repro.sph.physics.grad_h import compute_omega
 
-                omega = compute_omega(ps, pairs, self.kernel)
+                omega = compute_omega(ps, ctx)
             compute_momentum_energy(
-                ps, pairs, self.kernel, av_alpha=self.av_alpha, omega=omega
+                ps, ctx, av_alpha=self.av_alpha, omega=omega
             )
 
         potential = 0.0
@@ -160,9 +181,10 @@ class Propagator:
                     eps=self.gravity_eps,
                 )
                 ps.acc = ps.acc + tree.acceleration()
-                potential = direct_sum_potential(
-                    ps.pos, ps.mass, eps=self.gravity_eps
-                )
+                # Diagnostic potential from the same tree — the former
+                # per-step O(N^2) direct sum survives only as the oracle
+                # in the gravity tests.
+                potential = tree.potential()
 
         if self.driver is not None:
             with hooks.region("TurbulenceDriving"):
@@ -193,4 +215,5 @@ class Propagator:
             n_pairs=pairs.n_pairs,
             mean_neighbors=float(np.mean(ps.nc)),
             totals=totals,
+            neighbors_rebuilt=rebuilt,
         )

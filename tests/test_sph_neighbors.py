@@ -7,6 +7,7 @@ from hypothesis import given, settings, strategies as st
 from repro.errors import SimulationError
 from repro.sph.box import Box
 from repro.sph.neighbors import (
+    BRUTE_FORCE_MAX_N,
     brute_force_pairs,
     cell_list_pairs,
     find_neighbors,
@@ -132,6 +133,52 @@ class TestNeighborSearch:
         bf = brute_force_pairs(pos, h, box)
         cl = cell_list_pairs(pos, h, box)
         assert pair_set(bf) == pair_set(cl)
+
+    def test_half_list_matches_directed(self):
+        """half=True stores each undirected pair exactly once, i < j."""
+        box = Box(length=1.0, periodic=True)
+        for n in (BRUTE_FORCE_MAX_N // 2, 4 * BRUTE_FORCE_MAX_N):
+            pos, h = random_particles(n, box, 0.07, seed=n)
+            full = find_neighbors(pos, h, box)
+            half = find_neighbors(pos, h, box, half=True)
+            assert np.all(half.i < half.j)
+            assert 2 * half.n_pairs == full.n_pairs
+            assert pair_set(half.to_directed()) == pair_set(full)
+            assert np.array_equal(
+                half.neighbor_counts(), full.neighbor_counts()
+            )
+
+    def test_brute_force_threshold_consistent(self):
+        """Both sides of the dispatch threshold produce the same pairs."""
+        box = Box(length=1.0, periodic=False)
+        for n in (BRUTE_FORCE_MAX_N, BRUTE_FORCE_MAX_N + 1):
+            pos, h = random_particles(n, box, 0.1, seed=5)
+            assert pair_set(find_neighbors(pos, h, box)) == pair_set(
+                brute_force_pairs(pos, h, box)
+            )
+
+    def test_open_box_grid_anchored_at_box_bounds(self):
+        """Interior open-box configurations bin independently of strays:
+        identical pair geometry whether or not a far-away particle exists."""
+        box = Box(length=2.0, periodic=False)
+        pos, h = random_particles(200, box, 0.1, seed=6)
+        base = cell_list_pairs(pos, h, box)
+        # The grid origin is the box bound, not the particle minimum.
+        shifted = cell_list_pairs(pos - 0.01, h, box)
+        assert pair_set(base) == pair_set(
+            brute_force_pairs(pos, h, box)
+        )
+        assert pair_set(shifted) == pair_set(
+            brute_force_pairs(pos - 0.01, h, box)
+        )
+
+    def test_cell_grid_overflow_guard(self):
+        """A pathologically small cutoff raises instead of wrapping int64."""
+        box = Box(length=1.0, periodic=True)
+        pos = np.array([[0.0, 0.0, 0.0], [0.1, 0.0, 0.0]] * 100)
+        h = np.full(len(pos), 1e-8)
+        with pytest.raises(SimulationError, match="overflow"):
+            cell_list_pairs(pos, h, box)
 
     @given(st.integers(min_value=2, max_value=60), st.integers(min_value=0, max_value=99))
     @settings(max_examples=25, deadline=None)

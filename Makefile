@@ -1,7 +1,7 @@
 PYTHON ?= python
 PYTEST := PYTHONPATH=src $(PYTHON) -m pytest
 
-.PHONY: test bench bench-smoke
+.PHONY: test bench bench-smoke bench-faults
 
 # Tier-1: the full unit/integration/property suite.
 test:
@@ -15,3 +15,7 @@ bench:
 # seconds and still assert each benchmark's qualitative shape.
 bench-smoke:
 	$(PYTEST) benchmarks -q -k smoke
+
+# The full fault-injection ablation (both systems, every fault x target).
+bench-faults:
+	$(PYTEST) benchmarks/bench_ablation_fault_tolerance.py -q

@@ -1,0 +1,184 @@
+"""Ablation: sensor faults under the resilient measurement pipeline.
+
+Injects each failure mode from :mod:`repro.sensors.inject` (frozen counter,
+read dropout, power glitches) into one sensor of one node of a full
+instrumented SPH run and quantifies the attribution error the resilient
+layer leaves behind, relative to a fault-free run of the same job.
+
+Fault timing is derived from the fault-free baseline so the fault lands
+*inside* the instrumented application window (the window starts minutes
+into the job on Cray systems because of the prolog); a fault outside the
+window would exercise nothing.
+
+Documented error bounds (asserted):
+
+* freeze   — affected counter within 10 % (extrapolation from the freeze
+  anchor at the last good power; exact under constant load, the bound
+  covers power drift between reads);
+* dropout  — within 1 % (the counter keeps accumulating through the
+  outage, so the first read after recovery restores the true total);
+* glitch   — within 0.5 % (glitches live in the power register only; the
+  energy path is untouched and rejected watts are substituted).
+
+Counters the fault does not touch must be bit-identical to the baseline.
+"""
+
+from conftest import write_result
+
+from repro.config import CSCS_A100, LUMI_G, SUBSONIC_TURBULENCE
+from repro.experiments.runner import run_scaled_experiment
+
+#: (kind, target) matrix per system; targets are platform-relative
+#: (see repro.sensors.inject).  ``cpu`` on CSCS-A100 is the RAPL domain —
+#: included for the glitch case to demonstrate RAPL's structural immunity
+#: (no power register to spike).
+MATRIX = {
+    "LUMI-G": (
+        ("freeze", "node"),
+        ("freeze", "gpu0"),
+        ("dropout", "node"),
+        ("dropout", "gpu0"),
+        ("glitch", "node"),
+    ),
+    "CSCS-A100": (
+        ("freeze", "gpu0"),
+        ("dropout", "gpu0"),
+        ("dropout", "cpu"),
+        ("glitch", "gpu0"),
+        ("glitch", "cpu"),
+    ),
+}
+
+ERROR_BOUNDS = {"freeze": 0.10, "dropout": 0.01, "glitch": 0.005}
+
+
+def _fault_kwargs(kind, run):
+    """Place the fault mid-way through the instrumented app window."""
+    mid = 0.5 * (run.app_start + run.app_end)
+    if kind == "freeze":
+        return {"freeze_at": mid}
+    if kind == "dropout":
+        return {"outage_start": mid, "outage_end": mid + 0.25 * run.app_seconds}
+    return {"probability": 0.05, "magnitude_watts": 50_000.0, "seed": 0}
+
+
+def _window_errors(faulted, baseline):
+    """Relative per-counter energy errors of the fault node's window."""
+    f = faulted.node_windows[0]
+    b = baseline.node_windows[0]
+    errors = {
+        "node": abs(f.node_joules - b.node_joules) / b.node_joules,
+        "cpu": abs(f.cpu_joules - b.cpu_joules) / b.cpu_joules,
+    }
+    for k, (fj, bj) in enumerate(zip(f.card_joules, b.card_joules)):
+        errors[f"gpu{k}"] = abs(fj - bj) / bj
+    return errors
+
+
+def _affected_counter(system, target):
+    """Which window counter the fault should perturb."""
+    return target if target in ("node", "cpu") or target.startswith("gpu") else "node"
+
+
+def _run_matrix(system, num_cards, num_steps, matrix):
+    baseline = run_scaled_experiment(
+        system, SUBSONIC_TURBULENCE, num_cards, num_steps=num_steps
+    )
+    rows = []
+    for kind, target in matrix:
+        result = run_scaled_experiment(
+            system,
+            SUBSONIC_TURBULENCE,
+            num_cards,
+            num_steps=num_steps,
+            inject_fault=kind,
+            fault_target=target,
+            fault_node=0,
+            fault_kwargs=_fault_kwargs(kind, baseline.run),
+        )
+        errors = _window_errors(result.run, baseline.run)
+        health = result.run.telemetry_health[0]
+        affected = _affected_counter(system, target)
+        rows.append(
+            {
+                "kind": kind,
+                "target": target,
+                "err": errors[affected],
+                "max_other_err": max(
+                    v for k, v in errors.items() if k != affected
+                ),
+                "health": health,
+                "run": result.run,
+            }
+        )
+    return baseline, rows
+
+
+def _check_and_format(system, num_cards, num_steps, baseline, rows):
+    base_health = baseline.run.telemetry_health[0]
+    assert base_health.status == "ok", "fault-free run must not degrade"
+    assert not baseline.run.telemetry_degraded
+
+    lines = [
+        f"fault-tolerance ablation: {system.name}, {num_cards} cards, "
+        f"{num_steps} steps",
+        f"{'fault':>8} {'target':>7} {'err[%]':>8} {'other[%]':>9} "
+        f"{'gaps':>5} {'stuck':>6} {'glitch':>7} {'status':>9}",
+    ]
+    for row in rows:
+        kind, health = row["kind"], row["health"]
+        bound = ERROR_BOUNDS[kind]
+        assert row["err"] <= bound, (
+            f"{kind} on {row['target']}: {row['err']:.4f} > {bound}"
+        )
+        if kind == "freeze":
+            assert health.stuck_detections >= 1
+            assert health.status == "degraded"
+        elif kind == "dropout":
+            assert health.gaps_interpolated > 0
+            assert health.status == "degraded"
+        else:  # glitch: power-register only, never degrades
+            assert health.status == "ok"
+            if row["target"] != "cpu":
+                assert health.glitches_rejected > 0
+            else:
+                # RAPL has no power register; glitches cannot reach it.
+                assert health.glitches_rejected == 0
+                assert row["err"] == 0.0
+        if health.status == "degraded":
+            assert health.degraded_children, "degraded node must name children"
+        lines.append(
+            f"{kind:>8} {row['target']:>7} {100 * row['err']:>8.3f} "
+            f"{100 * row['max_other_err']:>9.3f} "
+            f"{health.gaps_interpolated:>5} {health.stuck_detections:>6} "
+            f"{health.glitches_rejected:>7} {health.status:>9}"
+        )
+    return "\n".join(lines)
+
+
+def bench_fault_tolerance_ablation(results_dir):
+    sections = []
+    for system in (LUMI_G, CSCS_A100):
+        baseline, rows = _run_matrix(
+            system, num_cards=8, num_steps=6, matrix=MATRIX[system.name]
+        )
+        sections.append(
+            _check_and_format(system, 8, 6, baseline, rows)
+        )
+    write_result(
+        results_dir, "ablation_fault_tolerance", "\n\n".join(sections)
+    )
+
+
+def bench_smoke_fault_tolerance(results_dir):
+    """CI-sized variant (`make bench-smoke`): one system, one target.
+
+    Six steps minimum: the stuck-counter grace window (3 s) must be small
+    against the instrumented window for the freeze bound to hold.
+    """
+    matrix = (("freeze", "gpu0"), ("dropout", "gpu0"), ("glitch", "gpu0"))
+    baseline, rows = _run_matrix(
+        CSCS_A100, num_cards=8, num_steps=6, matrix=matrix
+    )
+    text = _check_and_format(CSCS_A100, 8, 6, baseline, rows)
+    write_result(results_dir, "ablation_fault_tolerance_smoke", text)

@@ -24,6 +24,11 @@ class ValidationPoint:
     num_cards: int
     pmt_joules: float
     slurm_joules: float
+    #: Telemetry data quality behind the PMT number: ``ok`` when every
+    #: sensor read was direct, ``degraded`` when the resilient layer had
+    #: to substitute values, ``unknown`` for pre-resilient measurement
+    #: files that carry no health records.
+    quality: str = "unknown"
 
     @property
     def ratio(self) -> float:
@@ -43,6 +48,13 @@ def pmt_total_joules(run: RunMeasurements) -> float:
     return sum(w.node_joules for w in run.node_windows)
 
 
+def telemetry_quality(run: RunMeasurements) -> str:
+    """The run's overall data quality: ``ok``/``degraded``/``unknown``."""
+    if not run.telemetry_health:
+        return "unknown"
+    return "degraded" if run.telemetry_degraded else "ok"
+
+
 def validate_pmt_against_slurm(
     run: RunMeasurements, accounting: JobAccounting, num_cards: int
 ) -> ValidationPoint:
@@ -52,4 +64,5 @@ def validate_pmt_against_slurm(
         num_cards=num_cards,
         pmt_joules=pmt_total_joules(run),
         slurm_joules=accounting.consumed_energy_joules,
+        quality=telemetry_quality(run),
     )

@@ -166,21 +166,34 @@ def _cmd_fig5(args: argparse.Namespace) -> int:
 
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.experiments.runner import run_scaled_experiment
-    from repro.instrumentation import device_report, function_report
+    from repro.instrumentation import (
+        device_report,
+        function_report,
+        health_report,
+    )
     from repro.slurm import sacct_report
 
     system = get_system(args.system)
     test_case = TEST_CASES[args.case]
     result = run_scaled_experiment(
-        system, test_case, args.cards, num_steps=args.steps
+        system,
+        test_case,
+        args.cards,
+        num_steps=args.steps,
+        resilient=not args.no_resilient,
+        inject_fault=args.inject_fault,
+        fault_target=args.fault_target,
     )
     print(sacct_report([result.accounting]))
     print()
     print(device_report(result.run))
     print()
     print(function_report(result.run, "gpu"))
+    if result.run.telemetry_health:
+        print()
+        print(health_report(result.run))
     point = validate_pmt_against_slurm(result.run, result.accounting, args.cards)
-    print(f"\nPMT/Slurm = {point.ratio:.3f}")
+    print(f"\nPMT/Slurm = {point.ratio:.3f} (quality: {point.quality})")
     if args.out:
         result.run.write(args.out)
         print(f"measurements written to {args.out}")
@@ -286,6 +299,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--cards", type=int, default=8)
     p.add_argument("--out", default=None, help="write measurement JSON here")
+    p.add_argument(
+        "--inject-fault",
+        default=None,
+        choices=["freeze", "dropout", "glitch"],
+        help="break one sensor before the run (fault-injection ablation)",
+    )
+    p.add_argument(
+        "--fault-target",
+        default="gpu0",
+        help="sensor to break: node/cpu/memory/gpu<K>/rocm<K> (default gpu0)",
+    )
+    p.add_argument(
+        "--no-resilient",
+        action="store_true",
+        help="measure without the fault-tolerant layer (faults then abort)",
+    )
     _add_steps(p)
     p.set_defaults(func=_cmd_report)
 

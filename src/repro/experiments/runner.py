@@ -53,18 +53,51 @@ def functions_for(test_case: TestCaseConfig) -> tuple[str, ...]:
     return HYDRO_FUNCTIONS
 
 
-def _node_meter(telemetry):
+def _node_meter(telemetry, resilient: bool = True):
     """A whole-node PMT meter: cray where available, else a composite of
-    the NVML devices plus the RAPL package."""
-    import repro.pmt as pmt
+    the NVML devices plus the RAPL package.
 
+    With ``resilient`` (the default), every leaf meter is wrapped in the
+    degradation-ladder backend so the composite sums extrapolated child
+    values instead of aborting when one sensor fails mid-run; the
+    composite's own per-child isolation remains the backstop for children
+    that fail before their first good read.
+    """
+    import repro.pmt as pmt
+    from repro.sensors.resilient import GLITCH_MARGIN
+
+    spec = telemetry.node.spec
     if telemetry.pm_counters is not None:
-        return pmt.create("cray", telemetry=telemetry)
+        meter = pmt.create("cray", telemetry=telemetry)
+        if resilient:
+            meter = pmt.create(
+                "resilient",
+                inner=meter,
+                label="cray",
+                plausible_max_watts=GLITCH_MARGIN * spec.peak_watts,
+            )
+        return meter
+    card_bound = GLITCH_MARGIN * spec.card_peak_watts
     children = {
         f"gpu{i}": pmt.create("nvml", telemetry=telemetry, device_index=i)
         for i in range(len(telemetry.nvml))
     }
     children["cpu"] = pmt.create("rapl", telemetry=telemetry)
+    if resilient:
+        # The RAPL child gets no glitch bound: its watts are derived by
+        # differencing energy reads and legitimately alias above any
+        # physical ceiling at sub-refresh read spacing.
+        bounds: dict[str, float | None] = {name: card_bound for name in children}
+        bounds["cpu"] = None
+        children = {
+            name: pmt.create(
+                "resilient",
+                inner=child,
+                label=name,
+                plausible_max_watts=bounds[name],
+            )
+            for name, child in children.items()
+        }
     return pmt.create("composite", meters=children)
 
 
@@ -78,12 +111,27 @@ def run_scaled_experiment(
     seed: int = 0,
     privileged_dvfs: bool = False,
     power_sample_interval_s: float | None = None,
+    resilient: bool = True,
+    inject_fault: str | None = None,
+    fault_target: str = "gpu0",
+    fault_node: int = 0,
+    fault_kwargs: dict | None = None,
 ) -> ExperimentResult:
     """Run one paper-scale instrumented job.
 
     ``gpu_freq_mhz`` requests a frequency change before the run; on
     systems whose GPU frequency is not user controllable this raises
     (as on the real LUMI-G / CSCS-A100) unless ``privileged_dvfs`` is set.
+
+    ``resilient`` (default) runs the measurement pipeline through the
+    fault-tolerant layer; ``inject_fault`` breaks one sensor
+    (``freeze``/``dropout``/``glitch``, see :mod:`repro.sensors.inject`)
+    of node ``fault_node`` at ``fault_target`` before the job starts —
+    the fault-injection ablation measures the attribution error this
+    causes under the resilient layer.  ``fault_kwargs`` forwards timing
+    parameters (``freeze_at``, ``outage_start``/``outage_end``,
+    ``probability``/``magnitude_watts``/``seed``) to the fault wrapper,
+    e.g. to place the fault inside the instrumented window.
     """
     num_nodes = system.nodes_for_cards(num_cards)
     clock = VirtualClock()
@@ -97,6 +145,15 @@ def run_scaled_experiment(
         NodeTelemetry(node, system, clock, seed=seed + i)
         for i, node in enumerate(cluster.nodes)
     ]
+    if inject_fault is not None:
+        from repro.sensors.inject import inject_fault as install_fault
+
+        install_fault(
+            telemetries[fault_node],
+            inject_fault,
+            fault_target,
+            **(fault_kwargs or {}),
+        )
     placement = RankPlacement(cluster)
     engine = SpmdEngine(placement)
     cost_model = CommCostModel(system.network, placement)
@@ -109,7 +166,7 @@ def run_scaled_experiment(
     steps = num_steps if num_steps is not None else test_case.num_steps
 
     perfmodel = SphPerformanceModel(cost_model, n_per_rank, seed=seed)
-    profiler = EnergyProfiler(placement, telemetries, system)
+    profiler = EnergyProfiler(placement, telemetries, system, resilient=resilient)
     app = ScaledSphApplication(
         engine=engine,
         profiler=profiler,
@@ -124,7 +181,10 @@ def run_scaled_experiment(
         from repro.pmt.sampler import PmtSampler
 
         samplers = tuple(
-            PmtSampler(_node_meter(tel), interval_s=power_sample_interval_s)
+            PmtSampler(
+                _node_meter(tel, resilient=resilient),
+                interval_s=power_sample_interval_s,
+            )
             for tel in telemetries
         )
         for sampler in samplers:

@@ -38,12 +38,12 @@ def figure1_table(points: list[ValidationPoint]) -> str:
     """Render a Figure 1 series as the text table the bench prints."""
     lines = [
         f"{'System':>10} {'Cards':>6} {'PMT [MJ]':>10} {'Slurm [MJ]':>11} "
-        f"{'PMT/Slurm':>10}",
+        f"{'PMT/Slurm':>10} {'Quality':>9}",
     ]
     for p in points:
         lines.append(
             f"{p.system_name:>10} {p.num_cards:>6} "
             f"{p.pmt_joules / 1e6:>10.3f} {p.slurm_joules / 1e6:>11.3f} "
-            f"{p.ratio:>10.3f}"
+            f"{p.ratio:>10.3f} {p.quality:>9}"
         )
     return "\n".join(lines)

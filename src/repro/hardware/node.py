@@ -52,6 +52,26 @@ class NodeSpec:
         """Number of physical GPU cards (the sensor granularity)."""
         return self.num_gpu_units // self.gpu.gcds_per_card
 
+    @property
+    def peak_watts(self) -> float:
+        """The node's maximum plausible draw, all components at peak."""
+        return (
+            self.cpu.power_model.peak_watts_nominal
+            + self.memory.power_model.peak_watts_nominal
+            + self.nic.power_model.peak_watts_nominal
+            + self.gpu.power_model.peak_watts_nominal * self.num_gpu_units
+            + self.aux_watts
+            + self.card_overhead_watts * self.num_cards
+        )
+
+    @property
+    def card_peak_watts(self) -> float:
+        """One GPU card's maximum plausible draw (all its GCDs at peak)."""
+        return (
+            self.gpu.power_model.peak_watts_nominal * self.gpu.gcds_per_card
+            + self.card_overhead_watts
+        )
+
 
 class Node:
     """One compute node: CPU + GPUs + memory + NIC + auxiliary draw."""

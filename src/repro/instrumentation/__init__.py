@@ -9,14 +9,24 @@ post-hoc analysis, exactly as Section 2 describes (measure-then-gather to
 avoid perturbing the simulation).
 """
 
-from repro.instrumentation.records import FunctionEnergyRecord, RunMeasurements
+from repro.instrumentation.records import (
+    FunctionEnergyRecord,
+    RunMeasurements,
+    TelemetryHealthRecord,
+)
 from repro.instrumentation.profiler import EnergyProfiler
-from repro.instrumentation.reporting import function_report, device_report
+from repro.instrumentation.reporting import (
+    device_report,
+    function_report,
+    health_report,
+)
 
 __all__ = [
     "FunctionEnergyRecord",
     "RunMeasurements",
+    "TelemetryHealthRecord",
     "EnergyProfiler",
     "function_report",
     "device_report",
+    "health_report",
 ]

@@ -16,6 +16,18 @@ sources per platform:
 Reads at identical simulated timestamps are cached per node, matching the
 fact that co-located ranks reading the same counter at the same instant
 see the same value.
+
+By default every meter is wrapped in the resilient layer
+(:class:`~repro.pmt.backends.resilient.ResilientPMT` for PMT backends,
+:class:`~repro.sensors.resilient.ResilientSensor` for raw sensor reads),
+so a failing or lying sensor degrades — retried, interpolated, flagged —
+instead of aborting the run.  Glitch plausibility bounds come from the
+hardware specs' nominal peak powers.  Every mitigation is accounted: each
+:class:`FunctionEnergyRecord` carries the health-counter deltas that fired
+while the region was open, and :meth:`gather` emits one
+:class:`TelemetryHealthRecord` per node.  On a healthy run the resilient
+layer is value-transparent: all measured energies are bit-identical to an
+unwrapped run.
 """
 
 from __future__ import annotations
@@ -26,12 +38,52 @@ from repro.instrumentation.records import (
     FunctionEnergyRecord,
     NodeWindowRecord,
     RunMeasurements,
+    TelemetryHealthRecord,
 )
 from repro.mpi.mapping import RankPlacement
 from repro.pmt.backends.cray import CrayPMT
 from repro.pmt.backends.nvml import NvmlPMT
 from repro.pmt.backends.rapl import RaplPMT
+from repro.pmt.backends.resilient import ResilientPMT
+from repro.pmt.base import PMT
+from repro.sensors.base import SensorReading
+from repro.sensors.nvml import NvmlGpu
+from repro.sensors.resilient import (
+    GLITCH_MARGIN,
+    ResilientSensor,
+    SensorHealth,
+    diff_counters,
+)
 from repro.sensors.telemetry import NodeTelemetry
+
+
+class _SlurmNodeSource:
+    """The Slurm node-level energy source as a plain ``read(t)`` sensor."""
+
+    def __init__(self, telemetry: NodeTelemetry) -> None:
+        self._telemetry = telemetry
+
+    def read(self, t: float) -> SensorReading:
+        return self._telemetry.slurm_energy_reading(t)
+
+
+class _NvmlEnergySource:
+    """NVML's total-energy counter as a ``read(t)`` sensor.
+
+    Reproduces the integer-millijoule rounding of
+    ``nvmlDeviceGetTotalEnergyConsumption`` exactly, so wrapping it in the
+    resilient layer leaves healthy application-window reads unchanged.
+    """
+
+    def __init__(self, gpu: NvmlGpu) -> None:
+        self._gpu = gpu
+
+    def read(self, t: float) -> SensorReading:
+        return SensorReading(
+            timestamp=t,
+            watts=self._gpu.power_usage_mw(t) / 1e3,
+            joules=self._gpu.total_energy_consumption_mj(t) / 1e3,
+        )
 
 
 class EnergyProfiler:
@@ -42,30 +94,98 @@ class EnergyProfiler:
         placement: RankPlacement,
         telemetries: list[NodeTelemetry],
         system: SystemConfig,
+        resilient: bool = True,
     ) -> None:
         if len(telemetries) != placement.cluster.num_nodes:
             raise MeasurementError("one telemetry per node required")
         self.placement = placement
         self.telemetries = telemetries
         self.system = system
+        self.resilient = resilient
         self.clock = placement.cluster.clock
 
-        self._cray: list[CrayPMT | None] = [None] * len(telemetries)
-        self._rapl: list[RaplPMT | None] = [None] * len(telemetries)
-        self._nvml: dict[int, NvmlPMT] = {}
+        spec = placement.cluster.node_spec
+        node_bound = GLITCH_MARGIN * spec.peak_watts
+        card_bound = GLITCH_MARGIN * spec.card_peak_watts
+
+        num_nodes = len(telemetries)
+        self._cray: list[PMT | None] = [None] * num_nodes
+        self._rapl: list[PMT | None] = [None] * num_nodes
+        #: Unwrapped RAPL backends (for ``suspect_intervals`` accounting).
+        self._rapl_raw: list[RaplPMT | None] = [None] * num_nodes
+        self._nvml: dict[int, PMT] = {}
+        self._node_source: list[object | None] = [None] * num_nodes
+        self._window_sources: list[list] = [[] for _ in range(num_nodes)]
+        #: Per node: ``(child_name, source-with-.health)`` in wiring order.
+        self._health_sources: list[list[tuple[str, object]]] = [
+            [] for _ in range(num_nodes)
+        ]
+
         if system.pmt_backend == "cray":
-            self._cray = [CrayPMT(telemetry=tel) for tel in telemetries]
+            for node_index, tel in enumerate(telemetries):
+                meter: PMT = CrayPMT(telemetry=tel)
+                if resilient:
+                    meter = ResilientPMT(
+                        meter, label="cray", plausible_max_watts=node_bound
+                    )
+                    self._health_sources[node_index].append(("cray", meter))
+                self._cray[node_index] = meter
         else:
-            self._rapl = [RaplPMT(telemetry=tel) for tel in telemetries]
+            for node_index, tel in enumerate(telemetries):
+                raw = RaplPMT(telemetry=tel)
+                self._rapl_raw[node_index] = raw
+                cpu_meter: PMT = raw
+                if resilient:
+                    # No glitch bound: RAPL has no power register — its
+                    # watts are *derived* by differencing energy reads, and
+                    # two reads closer together than the register refresh
+                    # alias into arbitrarily large (legitimate) spikes.
+                    cpu_meter = ResilientPMT(raw, label="cpu")
+                    self._health_sources[node_index].append(("cpu", cpu_meter))
+                self._rapl[node_index] = cpu_meter
+
+                node_src: object = _SlurmNodeSource(tel)
+                if resilient:
+                    node_src = ResilientSensor(
+                        node_src, label="node", plausible_max_watts=node_bound
+                    )
+                    self._health_sources[node_index].append(("node", node_src))
+                self._node_source[node_index] = node_src
+
+                for i, gpu in enumerate(tel.nvml):
+                    win_src: object = _NvmlEnergySource(gpu)
+                    if resilient:
+                        win_src = ResilientSensor(
+                            win_src,
+                            label=f"gpu{i}",
+                            plausible_max_watts=card_bound,
+                        )
+                        self._health_sources[node_index].append(
+                            (f"gpu{i}", win_src)
+                        )
+                    self._window_sources[node_index].append(win_src)
+
             for rank in range(placement.size):
                 loc = placement.location(rank)
-                self._nvml[rank] = NvmlPMT(
+                gpu_meter: PMT = NvmlPMT(
                     telemetry=telemetries[loc.node_index],
                     device_index=loc.card_index,
                 )
+                if resilient:
+                    gpu_meter = ResilientPMT(
+                        gpu_meter,
+                        label=f"gpu{loc.card_index}",
+                        plausible_max_watts=card_bound,
+                    )
+                    self._health_sources[loc.node_index].append(
+                        (f"gpu{loc.card_index}", gpu_meter)
+                    )
+                self._nvml[rank] = gpu_meter
 
         self._node_cache: dict[tuple[int, float], dict[str, float]] = {}
-        self._open: dict[int, tuple[float, dict[str, float]]] = {}
+        self._open: dict[
+            int, tuple[float, dict[str, float], dict[str, float] | None]
+        ] = {}
         self._records: dict[tuple[int, str], FunctionEnergyRecord] = {}
         self._app_window: tuple[float, list[dict[str, float]]] | None = None
         self._app_end: tuple[float, list[dict[str, float]]] | None = None
@@ -91,9 +211,15 @@ class EnergyProfiler:
                 out[f"accel{i}"] = state.joules_of(f"accel{i}")
         else:
             rapl = self._rapl[node_index]
-            assert rapl is not None
+            node_src = self._node_source[node_index]
+            assert rapl is not None and node_src is not None
             out["cpu"] = rapl.read().joules
-            out["node"] = tel.slurm_energy_reading(self.clock.now).joules
+            out["node"] = node_src.read(self.clock.now).joules
+            # Per-card window counters are read at every boundary too: the
+            # stuck detector needs a read cadence much finer than the app
+            # window to catch a mid-run freeze before end_app().
+            for i, src in enumerate(self._window_sources[node_index]):
+                out[f"accel{i}"] = src.read(self.clock.now).joules
         # Only keep the freshest timestamp per node to bound memory.
         self._node_cache = {
             k: v for k, v in self._node_cache.items() if k[0] != node_index
@@ -114,45 +240,63 @@ class EnergyProfiler:
             out["gpu"] = self._nvml[rank].read().joules
         return out
 
+    # -- telemetry health -----------------------------------------------------------
+
+    def _node_health_counters(self, node_index: int) -> dict[str, float]:
+        """Aggregate mitigation counters of every meter of one node."""
+        total = SensorHealth()
+        for _, source in self._health_sources[node_index]:
+            total.add(source.health)
+        counters = total.counters()
+        raw = self._rapl_raw[node_index]
+        if raw is not None:
+            counters["suspect_intervals"] = float(raw.suspect_intervals)
+        return counters
+
     # -- region instrumentation ----------------------------------------------------
 
     def begin(self, rank: int) -> None:
         """Called when a rank enters an instrumented function region."""
         if rank in self._open:
             raise MeasurementError(f"rank {rank} already has an open region")
-        self._open[rank] = (self.clock.now, self.snapshot(rank))
+        health = None
+        if self.resilient:
+            loc = self.placement.location(rank)
+            health = self._node_health_counters(loc.node_index)
+        self._open[rank] = (self.clock.now, self.snapshot(rank), health)
 
     def end(self, rank: int, function: str) -> None:
         """Called when a rank's function call completes (its own end time)."""
         try:
-            t0, start = self._open.pop(rank)
+            t0, start, health0 = self._open.pop(rank)
         except KeyError:
             raise MeasurementError(
                 f"rank {rank} has no open region to end"
             ) from None
         end = self.snapshot(rank)
         deltas = {name: end[name] - start[name] for name in start}
+        health = None
+        if health0 is not None:
+            loc = self.placement.location(rank)
+            health = diff_counters(
+                self._node_health_counters(loc.node_index), health0
+            )
         key = (rank, function)
         record = self._records.get(key)
         if record is None:
             record = FunctionEnergyRecord(rank=rank, function=function)
             self._records[key] = record
-        record.accumulate(self.clock.now - t0, deltas)
+        record.accumulate(self.clock.now - t0, deltas, health)
 
     # -- run window -----------------------------------------------------------------
 
     def _window_snapshots(self) -> list[dict[str, float]]:
-        snaps = []
-        for node_index, tel in enumerate(self.telemetries):
-            counters = dict(self._node_counters(node_index))
-            if self.system.pmt_backend != "cray":
-                for i in range(len(tel.node.cards)):
-                    counters[f"accel{i}"] = (
-                        tel.nvml[i].total_energy_consumption_mj(self.clock.now)
-                        / 1e3
-                    )
-            snaps.append(counters)
-        return snaps
+        # The node-shared snapshot already carries every counter the window
+        # needs (accel counters included, on both platform families).
+        return [
+            dict(self._node_counters(node_index))
+            for node_index in range(len(self.telemetries))
+        ]
 
     def start_app(self) -> None:
         """Mark the start of the instrumented window (first time-step)."""
@@ -165,6 +309,33 @@ class EnergyProfiler:
         self._app_end = (self.clock.now, self._window_snapshots())
 
     # -- gather -----------------------------------------------------------------------
+
+    def _health_records(self) -> list[TelemetryHealthRecord]:
+        """One telemetry-health summary per node (resilient runs only)."""
+        records = []
+        for node_index in range(len(self.telemetries)):
+            total = SensorHealth()
+            degraded: dict[str, None] = {}
+            for child, source in self._health_sources[node_index]:
+                total.add(source.health)
+                if source.health.degraded:
+                    degraded.setdefault(child)
+            raw = self._rapl_raw[node_index]
+            suspect = raw.suspect_intervals if raw is not None else 0
+            if suspect:
+                # The CPU meter served at least one possibly-undercounting
+                # (multi-wrap) RAPL interval.
+                degraded.setdefault("cpu")
+            records.append(
+                TelemetryHealthRecord(
+                    node_index=node_index,
+                    suspect_intervals=suspect,
+                    degraded_children=list(degraded),
+                    status="degraded" if degraded else "ok",
+                    **total.counters(),
+                )
+            )
+        return records
 
     def gather(
         self,
@@ -213,4 +384,5 @@ class EnergyProfiler:
                 self._records.values(), key=lambda r: (r.rank, r.function)
             ),
             node_windows=windows,
+            telemetry_health=self._health_records() if self.resilient else [],
         )

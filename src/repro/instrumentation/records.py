@@ -30,8 +30,17 @@ class FunctionEnergyRecord:
     seconds: float = 0.0
     #: Raw counter deltas in joules (uncorrected for sensor sharing).
     joules: dict[str, float] = field(default_factory=dict)
+    #: Telemetry mitigations that fired while this region was open, as
+    #: counter deltas (``retries``, ``gaps_interpolated``, ``gap_seconds``,
+    #: ``glitches_rejected``, ``stuck_reads``...).  Empty for a clean run.
+    health: dict[str, float] = field(default_factory=dict)
 
-    def accumulate(self, seconds: float, joules: dict[str, float]) -> None:
+    def accumulate(
+        self,
+        seconds: float,
+        joules: dict[str, float],
+        health: dict[str, float] | None = None,
+    ) -> None:
         """Add one instrumented call's measurements."""
         if seconds < 0:
             raise AnalysisError("negative region duration")
@@ -39,6 +48,35 @@ class FunctionEnergyRecord:
         self.seconds += seconds
         for name, value in joules.items():
             self.joules[name] = self.joules.get(name, 0.0) + value
+        for name, value in (health or {}).items():
+            self.health[name] = self.health.get(name, 0.0) + value
+
+
+@dataclass
+class TelemetryHealthRecord:
+    """Per-node data-quality counters of the measurement pipeline.
+
+    One record per node summarises every mitigation the resilient
+    measurement layer performed during the run: failed reads retried,
+    gaps filled by last-good-value interpolation, implausible power
+    samples rejected, and stuck-counter detections.  ``degraded_children``
+    names the meters that served substituted (not directly sensed) values
+    at any point; ``status`` is ``"ok"`` only when no substitution was
+    ever needed.
+    """
+
+    node_index: int
+    reads: int = 0
+    retries: int = 0
+    retry_successes: int = 0
+    gaps_interpolated: int = 0
+    gap_seconds: float = 0.0
+    glitches_rejected: int = 0
+    stuck_reads: int = 0
+    stuck_detections: int = 0
+    suspect_intervals: int = 0
+    degraded_children: list[str] = field(default_factory=list)
+    status: str = "ok"
 
 
 @dataclass
@@ -68,6 +106,9 @@ class RunMeasurements:
     app_end: float
     records: list[FunctionEnergyRecord] = field(default_factory=list)
     node_windows: list[NodeWindowRecord] = field(default_factory=list)
+    #: Per-node telemetry data-quality summary (empty when the run was
+    #: measured without the resilient layer, e.g. old measurement files).
+    telemetry_health: list[TelemetryHealthRecord] = field(default_factory=list)
 
     @property
     def app_seconds(self) -> float:
@@ -78,6 +119,11 @@ class RunMeasurements:
     def ranks_per_node(self) -> int:
         """MPI ranks per node."""
         return self.num_ranks // self.num_nodes
+
+    @property
+    def telemetry_degraded(self) -> bool:
+        """True when any node served substituted (degraded) measurements."""
+        return any(h.status != "ok" for h in self.telemetry_health)
 
     def functions(self) -> list[str]:
         """Function names present, in first-seen order."""
@@ -107,7 +153,17 @@ class RunMeasurements:
             payload = json.loads(text)
             records = [FunctionEnergyRecord(**r) for r in payload.pop("records")]
             windows = [NodeWindowRecord(**w) for w in payload.pop("node_windows")]
-            return cls(records=records, node_windows=windows, **payload)
+            # Absent in files written before the resilient measurement layer.
+            health = [
+                TelemetryHealthRecord(**h)
+                for h in payload.pop("telemetry_health", [])
+            ]
+            return cls(
+                records=records,
+                node_windows=windows,
+                telemetry_health=health,
+                **payload,
+            )
         except (KeyError, TypeError, ValueError) as exc:
             raise AnalysisError(f"malformed measurement file: {exc}") from exc
 

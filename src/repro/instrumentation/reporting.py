@@ -1,14 +1,29 @@
 """Human-readable measurement reports.
 
 Renders the gathered measurements the way a user would consume them after
-a run: a per-device summary (the Figure 2 view) and a per-function table
-(the Figure 3 view).
+a run: a per-device summary (the Figure 2 view), a per-function table
+(the Figure 3 view), and the telemetry-health QC table of the resilient
+measurement layer.
 """
 
 from __future__ import annotations
 
 from repro.instrumentation.records import RunMeasurements
 from repro.units import format_duration, joules_to_megajoules
+
+
+def telemetry_qc_line(run: RunMeasurements) -> str:
+    """One-line data-quality verdict for a run's measurements."""
+    if not run.telemetry_health:
+        return "Telemetry QC: not recorded (non-resilient run)"
+    degraded = [
+        f"node {h.node_index}: {', '.join(h.degraded_children)}"
+        for h in run.telemetry_health
+        if h.status != "ok"
+    ]
+    if not degraded:
+        return "Telemetry QC: ok (no sensor substitutions)"
+    return "Telemetry QC: DEGRADED (" + "; ".join(degraded) + ")"
 
 
 def device_report(run: RunMeasurements) -> str:
@@ -32,6 +47,29 @@ def device_report(run: RunMeasurements) -> str:
         lines.append(
             f"{device:>8} {joules_to_megajoules(joules):>12.3f} {share:>7.1%}"
         )
+    if run.telemetry_health:
+        lines += ["", telemetry_qc_line(run)]
+    return "\n".join(lines)
+
+
+def health_report(run: RunMeasurements) -> str:
+    """The per-node telemetry-health table of the resilient layer."""
+    if not run.telemetry_health:
+        return telemetry_qc_line(run)
+    lines = [
+        "Telemetry health (mitigations of the resilient measurement layer):",
+        f"{'Node':>5} {'Reads':>7} {'Retry':>6} {'Gaps':>5} {'Gap[s]':>7} "
+        f"{'Glitch':>7} {'Stuck':>6} {'Suspect':>8} {'Status':>9}  Degraded",
+    ]
+    for h in run.telemetry_health:
+        degraded = ", ".join(h.degraded_children) if h.degraded_children else "-"
+        lines.append(
+            f"{h.node_index:>5} {h.reads:>7} {h.retries:>6} "
+            f"{h.gaps_interpolated:>5} {h.gap_seconds:>7.1f} "
+            f"{h.glitches_rejected:>7} {h.stuck_detections:>6} "
+            f"{h.suspect_intervals:>8} {h.status:>9}  {degraded}"
+        )
+    lines.append(telemetry_qc_line(run))
     return "\n".join(lines)
 
 

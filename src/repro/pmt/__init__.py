@@ -31,6 +31,7 @@ from repro.pmt.backends import (  # noqa: F401
     dummy,
     nvml,
     rapl,
+    resilient,
     rocm,
 )
 

@@ -2,17 +2,27 @@
 
 RAPL registers wrap around (32-bit microjoule accumulators), so the backend
 keeps an *unwrapped* running total: each ``read()`` diffs the raw register
-against the previous raw value modulo ``max_energy_range_uj``.  RAPL has no
-power register; instantaneous watts are estimated from the last two reads.
+against the previous raw value modulo ``max_energy_range_uj``.  Two raw
+values can only witness one wraparound — at a 200 W package draw the
+register wraps every ~21 s, so a longer read interval can silently lose a
+whole wrap period.  The backend checks every interval against
+:meth:`RaplPackage.max_safe_read_interval_s` (at the CPU's peak plausible
+power) and flags violating reads ``suspect`` with a warning instead of
+trusting them; ``suspect_intervals`` counts them for the health report.
+
+RAPL has no power register; instantaneous watts are estimated from the
+last two reads.
 """
 
 from __future__ import annotations
 
-from repro.errors import BackendError
+import warnings
+
+from repro.errors import BackendError, SensorError
 from repro.pmt.base import PMT
 from repro.pmt.registry import register_backend
 from repro.pmt.state import Measurement, State
-from repro.sensors.rapl import RAPL_DIR
+from repro.sensors.rapl import RAPL_DIR, RaplPackage
 from repro.sensors.telemetry import NodeTelemetry
 
 
@@ -31,9 +41,15 @@ class RaplPMT(PMT):
         if not self._sysfs.exists(f"{self._base}/energy_uj"):
             raise BackendError(f"no RAPL package {package_index} on this node")
         self._max_uj = int(self._sysfs.read(f"{self._base}/max_energy_range_uj"))
+        # Worst-case package draw bounds the safe read interval; the spec's
+        # peak is the tightest bound the platform can justify.
+        self._max_watts = telemetry.node.cpu.spec.power_model.peak_watts_nominal
         self._last_raw_uj: int | None = None
+        self._last_raw_t: float | None = None
         self._unwrapped_uj = 0
         self._last_read: tuple[float, int] | None = None  # (t, unwrapped_uj)
+        #: Reads whose interval exceeded the max safe (single-wrap) bound.
+        self.suspect_intervals = 0
 
     def _raw_uj(self) -> int:
         return int(self._sysfs.read(f"{self._base}/energy_uj"))
@@ -41,12 +57,29 @@ class RaplPMT(PMT):
     def read_state(self) -> State:
         t = self.clock.now
         raw = self._raw_uj()
+        quality = "ok"
         if self._last_raw_uj is not None:
-            delta = raw - self._last_raw_uj
-            if delta < 0:
-                delta += self._max_uj
+            elapsed = (
+                t - self._last_raw_t if self._last_raw_t is not None else None
+            )
+            try:
+                delta = RaplPackage.unwrap(
+                    self._last_raw_uj,
+                    raw,
+                    elapsed_s=elapsed,
+                    max_power_watts=self._max_watts,
+                )
+            except SensorError as exc:
+                # Keep the run alive: unwrap without the interval check,
+                # but mark the value suspect — it may undercount by one or
+                # more full register ranges.
+                self.suspect_intervals += 1
+                quality = "suspect"
+                warnings.warn(str(exc), stacklevel=2)
+                delta = RaplPackage.unwrap(self._last_raw_uj, raw)
             self._unwrapped_uj += delta
         self._last_raw_uj = raw
+        self._last_raw_t = t
 
         watts = 0.0
         if self._last_read is not None:
@@ -62,6 +95,7 @@ class RaplPMT(PMT):
                     name="package-0",
                     joules=self._unwrapped_uj * 1e-6,
                     watts=watts,
+                    quality=quality,
                 ),
             ),
         )

@@ -1,0 +1,252 @@
+"""Resilient PMT wrapper: the degradation ladder at the meter level.
+
+Wraps any concrete :class:`~repro.pmt.base.PMT` backend so that one failing
+or lying sensor cannot abort an instrumented run or silently corrupt the
+per-function attribution:
+
+1. **retry** — a failed ``read_state()`` is retried a bounded number of
+   times (counted; under the shared virtual clock a retry re-reads at the
+   same instant, so purely time-windowed faults fall through to step 2 —
+   exactly like a real retry storm inside a long outage);
+2. **interpolate** — on persistent failure, every measurement of the last
+   good state is extrapolated at its last observed power and flagged
+   ``interpolated``;
+3. **degrade** — per-measurement stuck-counter detection (identical energy
+   across advancing time under nonzero load) substitutes extrapolated
+   energy flagged ``extrapolated``; instantaneous powers above the
+   hardware's plausibility bound are substituted and flagged ``rejected``;
+4. **fail** — only a failure before the very first good read raises.
+
+All mitigations are tallied in a :class:`~repro.sensors.resilient.SensorHealth`
+record, which the instrumentation layer surfaces in the run's telemetry
+health table.
+
+Composition note: wrap *leaf* meters and feed the wrapped children to
+:class:`~repro.pmt.backends.composite.CompositePMT` — the composite then
+sums extrapolated child values into a still-plausible primary, and its own
+per-child isolation handles children that raise before any good read.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import BackendError, SensorError
+from repro.pmt.base import PMT
+from repro.pmt.registry import register_backend
+from repro.pmt.state import Measurement, State
+from repro.sensors.resilient import (
+    DEFAULT_MAX_RETRIES,
+    DEFAULT_STUCK_GRACE_S,
+    DEFAULT_STUCK_MIN_JOULES,
+    DEFAULT_STUCK_READS,
+    SensorHealth,
+)
+
+
+@dataclass
+class _StuckTrack:
+    """Per-measurement stuck-counter streak state.
+
+    ``trail_*`` hold a (time, joules) reference at least one grace period
+    older than the anchor, so a detected freeze can be extrapolated at the
+    trailing-average power instead of the instantaneous power the sensor
+    happened to report at the freeze instant.
+    """
+
+    joules: float
+    watts: float
+    anchor_t: float
+    trail_t: float
+    trail_joules: float
+    trail_next_t: float
+    trail_next_joules: float
+    streak: int = 0
+    stuck: bool = False
+
+
+@register_backend("resilient")
+class ResilientPMT(PMT):
+    """Fault-tolerant wrapper over one PMT backend.
+
+    Parameters
+    ----------
+    inner:
+        The meter to protect.
+    label:
+        Name used for this meter in health records (defaults to the inner
+        backend's registry name).
+    max_retries:
+        Bounded ``read_state()`` re-attempts per read.
+    plausible_max_watts:
+        Physical ceiling for any single measurement's instantaneous power,
+        from the hardware specs (``None`` disables glitch rejection).
+    stuck_reads / min_expected_watts / stuck_min_joules / stuck_grace_s:
+        Stuck-accumulator detection thresholds, applied per measurement
+        (see :class:`~repro.sensors.resilient.ResilientSensor`).
+    """
+
+    def __init__(
+        self,
+        inner: PMT,
+        *,
+        label: str | None = None,
+        max_retries: int = DEFAULT_MAX_RETRIES,
+        plausible_max_watts: float | None = None,
+        stuck_reads: int = DEFAULT_STUCK_READS,
+        min_expected_watts: float = 1.0,
+        stuck_min_joules: float = DEFAULT_STUCK_MIN_JOULES,
+        stuck_grace_s: float = DEFAULT_STUCK_GRACE_S,
+    ) -> None:
+        if max_retries < 0:
+            raise BackendError("max_retries must be >= 0")
+        if stuck_reads < 1:
+            raise BackendError("stuck_reads must be >= 1")
+        if plausible_max_watts is not None and plausible_max_watts <= 0:
+            raise BackendError("plausible_max_watts must be positive when set")
+        super().__init__(inner.clock)
+        self.inner = inner
+        self.label = label if label is not None else inner.name
+        self.max_retries = int(max_retries)
+        self.plausible_max_watts = plausible_max_watts
+        self.stuck_reads = int(stuck_reads)
+        self.min_expected_watts = float(min_expected_watts)
+        self.stuck_min_joules = float(stuck_min_joules)
+        self.stuck_grace_s = float(stuck_grace_s)
+        self.health = SensorHealth()
+        self._last_good: State | None = None
+        self._prev_t: float | None = None
+        self._tracks: dict[str, _StuckTrack] = {}
+
+    # -- degradation ladder -----------------------------------------------------
+
+    def read_state(self) -> State:
+        t = self.clock.now
+        self.health.reads += 1
+        state = self._attempt()
+        if state is None:
+            state = self._interpolate_state(t)
+        else:
+            state = State(
+                timestamp=state.timestamp,
+                measurements=tuple(
+                    self._track_stuck(t, self._reject_glitch(m))
+                    for m in state.measurements
+                ),
+            )
+        self._last_good = state
+        self._prev_t = t
+        return state
+
+    def _attempt(self) -> State | None:
+        """Bounded retries.  The clock is shared with the application, so a
+        retry cannot wait it out; time-windowed faults (dropouts) always
+        exhaust the budget and fall through to interpolation — the counted
+        retries still record how hard the meter was poked."""
+        for attempt in range(self.max_retries + 1):
+            try:
+                state = self.inner.read_state()
+            except SensorError:
+                if attempt == self.max_retries:
+                    return None
+                self.health.retries += 1
+            else:
+                if attempt > 0:
+                    self.health.retry_successes += 1
+                return state
+        return None
+
+    def _interpolate_state(self, t: float) -> State:
+        last = self._last_good
+        if last is None:
+            raise SensorError(
+                f"meter {self.label!r} failed with no last good state to "
+                "interpolate from"
+            )
+        self.health.gaps_interpolated += 1
+        if self._prev_t is not None:
+            self.health.gap_seconds += max(0.0, t - self._prev_t)
+        self.health.degraded = True
+        dt = max(0.0, t - last.timestamp)
+        return State(
+            timestamp=t,
+            measurements=tuple(
+                Measurement(
+                    name=m.name,
+                    joules=m.joules + m.watts * dt,
+                    watts=m.watts,
+                    quality="interpolated",
+                )
+                for m in last.measurements
+            ),
+        )
+
+    def _reject_glitch(self, m: Measurement) -> Measurement:
+        bound = self.plausible_max_watts
+        if bound is None or m.watts <= bound:
+            return m
+        self.health.glitches_rejected += 1
+        substitute = bound
+        if self._last_good is not None and m.name in self._last_good.names():
+            substitute = self._last_good.watts_of(m.name)
+        return Measurement(
+            name=m.name, joules=m.joules, watts=substitute, quality="rejected"
+        )
+
+    def _track_stuck(self, t: float, m: Measurement) -> Measurement:
+        track = self._tracks.get(m.name)
+        if track is None:
+            self._tracks[m.name] = _StuckTrack(
+                joules=m.joules,
+                watts=m.watts,
+                anchor_t=t,
+                trail_t=t,
+                trail_joules=m.joules,
+                trail_next_t=t,
+                trail_next_joules=m.joules,
+            )
+            return m
+        if m.joules != track.joules:
+            # Accumulator moved (or thawed): healthy, reset the streak but
+            # keep the trailing reference rolling forward.
+            track.joules = m.joules
+            track.watts = m.watts
+            track.anchor_t = t
+            track.streak = 0
+            track.stuck = False
+            if t - track.trail_next_t >= self.stuck_grace_s:
+                track.trail_t = track.trail_next_t
+                track.trail_joules = track.trail_next_joules
+                track.trail_next_t = t
+                track.trail_next_joules = m.joules
+            return m
+        expected_watts = max(m.watts, track.watts, self.min_expected_watts)
+        zero_growth_s = t - track.anchor_t
+        if (
+            zero_growth_s >= self.stuck_grace_s
+            and zero_growth_s * expected_watts >= self.stuck_min_joules
+        ):
+            track.streak += 1
+            self.health.stuck_reads += 1
+        if track.streak >= self.stuck_reads and not track.stuck:
+            track.stuck = True
+            self.health.stuck_detections += 1
+            self.health.degraded = True
+        if not track.stuck:
+            return m
+        # The freeze happened at most one read interval before the anchor.
+        # Extrapolate at the trailing-average power (identical to the
+        # frozen instantaneous power under steady load, far less biased
+        # when the freeze lands inside a burst or an idle gap); the error
+        # stays bounded by (read spacing + power drift) * elapsed time.
+        watts = track.watts
+        if track.anchor_t > track.trail_t:
+            watts = (track.joules - track.trail_joules) / (
+                track.anchor_t - track.trail_t
+            )
+        return Measurement(
+            name=m.name,
+            joules=track.joules + watts * max(0.0, t - track.anchor_t),
+            watts=watts,
+            quality="extrapolated",
+        )

@@ -6,6 +6,14 @@ an energy accumulator, so this backend integrates power across its own
 of the real toolkit.  Accuracy therefore depends on read cadence, which is
 exactly why the instrumentation layer reads at region boundaries *and* the
 background sampler exists.
+
+Because the backend *integrates* what it reads, a glitched power register
+(bus spike) would poison the energy accumulator permanently — so the
+plausibility check must run before integration, here, not in an outer
+wrapper.  Readings above the card's physical ceiling (spec peak times
+:data:`~repro.sensors.resilient.GLITCH_MARGIN`) are substituted with the
+last good power, counted in ``glitches_rejected`` and flagged
+``rejected``.
 """
 
 from __future__ import annotations
@@ -14,6 +22,7 @@ from repro.errors import BackendError
 from repro.pmt.base import PMT
 from repro.pmt.registry import register_backend
 from repro.pmt.state import Measurement, State
+from repro.sensors.resilient import GLITCH_MARGIN
 from repro.sensors.telemetry import NodeTelemetry
 
 
@@ -37,10 +46,17 @@ class RocmPMT(PMT):
         self._name = f"card{device_index}"
         self._joules = 0.0
         self._last: tuple[float, float] | None = None  # (t, watts)
+        self._max_watts = GLITCH_MARGIN * telemetry.node.spec.card_peak_watts
+        self.glitches_rejected = 0
 
     def read_state(self) -> State:
         t = self.clock.now
         watts = int(self._sysfs.read(self._path)) * 1e-6
+        quality = "ok"
+        if watts > self._max_watts:
+            self.glitches_rejected += 1
+            quality = "rejected"
+            watts = self._last[1] if self._last is not None else self._max_watts
         if self._last is not None:
             t_prev, w_prev = self._last
             self._joules += 0.5 * (w_prev + watts) * (t - t_prev)
@@ -48,6 +64,11 @@ class RocmPMT(PMT):
         return State(
             timestamp=t,
             measurements=(
-                Measurement(name=self._name, joules=self._joules, watts=watts),
+                Measurement(
+                    name=self._name,
+                    joules=self._joules,
+                    watts=watts,
+                    quality=quality,
+                ),
             ),
         )

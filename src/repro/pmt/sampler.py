@@ -46,22 +46,42 @@ class PmtSampler:
         self.interval_s = float(interval_s)
         self.rows: list[SampleRow] = []
         self._running = False
-        self._next_sample_t = 0.0
+        # Sampling boundaries are computed as ``start + k * interval`` from
+        # an integer tick index — never by repeatedly adding the interval,
+        # which accumulates floating-point drift over long runs.
+        self._start_t = 0.0
+        self._tick = 0
+        # Boundary time of the most recent catch-up sample, used to avoid
+        # a duplicate final row when stop() lands exactly on a boundary.
+        self._last_boundary_t: float | None = None
         meter.clock.on_advance(self._on_advance)
 
     def start(self) -> None:
-        """Begin sampling; the first sample is taken immediately."""
+        """Begin (or resume) sampling; the first sample is taken immediately.
+
+        Calling ``start()`` again after ``stop()`` re-arms the sampler at
+        the current simulated time: the boundary grid restarts from *now*
+        and new rows append after the earlier segment's rows.
+        """
         if self._running:
             raise MeasurementError("sampler already running")
         self._running = True
+        self._start_t = self.meter.clock.now
+        self._tick = 1
+        self._last_boundary_t = None
         self._take_sample()
-        self._next_sample_t = self.meter.clock.now + self.interval_s
 
     def stop(self) -> None:
-        """Stop sampling; a final sample is taken at stop time."""
+        """Stop sampling; a final sample is taken at stop time.
+
+        If a catch-up sample already landed exactly at stop time (the stop
+        coincides with a sampling boundary), no duplicate row is emitted.
+        """
         if not self._running:
             raise MeasurementError("sampler is not running")
-        self._take_sample()
+        now = self.meter.clock.now
+        if self._last_boundary_t != now:
+            self._take_sample()
         self._running = False
 
     def _take_sample(self) -> None:
@@ -78,10 +98,16 @@ class PmtSampler:
         if not self._running:
             return
         # Catch up on every boundary the advance crossed (coarse phases can
-        # skip many sampling intervals at once).
-        while self._next_sample_t <= now:
+        # skip many sampling intervals at once).  Boundary ``k`` sits at
+        # ``start + k * interval`` exactly, independent of how many samples
+        # were taken before it.
+        while True:
+            boundary = self._start_t + self._tick * self.interval_s
+            if boundary > now:
+                break
             self._take_sample()
-            self._next_sample_t += self.interval_s
+            self._last_boundary_t = boundary
+            self._tick += 1
 
     # -- output ---------------------------------------------------------------
 

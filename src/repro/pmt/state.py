@@ -15,6 +15,29 @@ from dataclasses import dataclass
 from repro.errors import MeasurementError
 
 
+#: Data-quality grades a measurement can carry (see ``Measurement.quality``).
+#:
+#: * ``ok``           — read straight off the sensor;
+#: * ``rejected``     — the power register failed plausibility bounds and
+#:   was substituted (energy untouched);
+#: * ``extrapolated`` — a stuck accumulator was detected; energy is
+#:   extrapolated from the freeze point at the last good power;
+#: * ``interpolated`` — the read failed entirely; the whole measurement is
+#:   a hold-last-good estimate across the gap;
+#: * ``degraded``     — a composite child failed; values are its last known
+#:   state and are excluded from the composite's primary sum;
+#: * ``suspect``      — the value may silently undercount (e.g. a RAPL
+#:   interval long enough to span more than one counter wraparound).
+MEASUREMENT_QUALITIES = (
+    "ok",
+    "rejected",
+    "extrapolated",
+    "interpolated",
+    "degraded",
+    "suspect",
+)
+
+
 @dataclass(frozen=True)
 class Measurement:
     """One named counter sample within a state."""
@@ -22,6 +45,8 @@ class Measurement:
     name: str
     joules: float
     watts: float
+    #: Data-quality grade (one of :data:`MEASUREMENT_QUALITIES`).
+    quality: str = "ok"
 
 
 @dataclass(frozen=True)
@@ -56,6 +81,10 @@ class State:
     def names(self) -> tuple[str, ...]:
         """All measurement names, primary first."""
         return tuple(m.name for m in self.measurements)
+
+    def degraded_names(self) -> tuple[str, ...]:
+        """Names of measurements that are not plain sensor reads."""
+        return tuple(m.name for m in self.measurements if m.quality != "ok")
 
     def measurement(self, name: str) -> Measurement:
         """Look a measurement up by name."""

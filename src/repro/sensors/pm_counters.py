@@ -77,34 +77,58 @@ class PmCounters:
                 initial_joules=base,
             )
 
-        self.node_counter = counter(node.trace, 1)
-        self.cpu_counter = counter(node.cpu.trace, 2)
-        self.memory_counter = counter(node.memory.trace, 3) if include_memory else None
-        self.accel_counters: list[SampledEnergyCounter] = [
-            counter(card.trace, 10 + i) for i, card in enumerate(node.cards)
-        ]
+        # Counters live in a dict keyed by file stem, and the registered
+        # sysfs readers look the counter up *at read time* — so the fault
+        # injection layer (repro.sensors.inject) can swap a counter for a
+        # fault-wrapped one and every consumer path sees the fault.
+        self.counters: dict[str, SampledEnergyCounter] = {"": counter(node.trace, 1)}
+        self.counters["cpu"] = counter(node.cpu.trace, 2)
+        if include_memory:
+            self.counters["memory"] = counter(node.memory.trace, 3)
+        for i, card in enumerate(node.cards):
+            self.counters[f"accel{i}"] = counter(card.trace, 10 + i)
 
         self._register_files()
 
+    # -- counter accessors (late-binding aliases) -------------------------------
+
+    @property
+    def node_counter(self) -> SampledEnergyCounter:
+        """The whole-node counter."""
+        return self.counters[""]
+
+    @property
+    def cpu_counter(self) -> SampledEnergyCounter:
+        """The CPU counter."""
+        return self.counters["cpu"]
+
+    @property
+    def memory_counter(self) -> SampledEnergyCounter | None:
+        """The memory counter, if the platform provides one."""
+        return self.counters.get("memory")
+
+    @property
+    def accel_counters(self) -> list[SampledEnergyCounter]:
+        """Per-card accelerator counters, in card order."""
+        return [
+            self.counters[f"accel{i}"] for i in range(len(self.node.cards))
+        ]
+
     # -- sysfs surface --------------------------------------------------------
 
-    def _register_pair(self, stem: str, sensor: SampledEnergyCounter) -> None:
+    def _register_pair(self, stem: str) -> None:
         self.sysfs.register(
             f"{PM_COUNTERS_DIR}/{stem}_power" if stem else f"{PM_COUNTERS_DIR}/power",
-            lambda t, s=sensor: _format_pm_file(s.read(t).watts, "W", t),
+            lambda t, k=stem: _format_pm_file(self.counters[k].read(t).watts, "W", t),
         )
         self.sysfs.register(
             f"{PM_COUNTERS_DIR}/{stem}_energy" if stem else f"{PM_COUNTERS_DIR}/energy",
-            lambda t, s=sensor: _format_pm_file(s.read(t).joules, "J", t),
+            lambda t, k=stem: _format_pm_file(self.counters[k].read(t).joules, "J", t),
         )
 
     def _register_files(self) -> None:
-        self._register_pair("", self.node_counter)
-        self._register_pair("cpu", self.cpu_counter)
-        if self.memory_counter is not None:
-            self._register_pair("memory", self.memory_counter)
-        for i, sensor in enumerate(self.accel_counters):
-            self._register_pair(f"accel{i}", sensor)
+        for stem in self.counters:
+            self._register_pair(stem)
 
     # -- direct reads ----------------------------------------------------------
 
@@ -125,11 +149,11 @@ class PmCounters:
     def read_accel(self, card_index: int, t: float) -> SensorReading:
         """Per-card accelerator counter state at time ``t``."""
         try:
-            sensor = self.accel_counters[card_index]
-        except IndexError:
+            sensor = self.counters[f"accel{card_index}"]
+        except KeyError:
             raise SensorError(
                 f"no accel counter {card_index} (node has "
-                f"{len(self.accel_counters)} cards)"
+                f"{len(self.node.cards)} cards)"
             ) from None
         return sensor.read(t)
 

@@ -15,6 +15,7 @@ differencing energy reads, which is exactly what PMT's RAPL backend does.
 
 from __future__ import annotations
 
+from repro.errors import SensorError
 from repro.hardware.cpu import CpuDevice
 from repro.sensors.base import SampledEnergyCounter
 from repro.sensors.sysfs import VirtualSysfs
@@ -72,9 +73,48 @@ class RaplPackage:
         return int(round(self.counter.read(t).joules * 1e6))
 
     @staticmethod
-    def unwrap(previous_uj: int, current_uj: int) -> int:
-        """Microjoules elapsed between two reads, handling one wraparound."""
+    def max_safe_read_interval_s(max_power_watts: float) -> float:
+        """Longest interval between two reads that provably cannot span
+        more than one counter wraparound at ``max_power_watts``.
+
+        The 32-bit microjoule register holds ~4295 J, so at a 200 W package
+        draw it wraps every ~21 s: any consumer polling slower than
+        ``max_energy_range / max_package_power`` can silently lose whole
+        wrap periods (the two raw values are indistinguishable from a
+        single-wrap interval).  Poll faster than this bound — the PMT RAPL
+        backend flags reads that violate it.
+        """
+        if max_power_watts <= 0:
+            raise SensorError("max_power_watts must be positive")
+        return RAPL_MAX_ENERGY_RANGE_J / max_power_watts
+
+    @staticmethod
+    def unwrap(
+        previous_uj: int,
+        current_uj: int,
+        *,
+        elapsed_s: float | None = None,
+        max_power_watts: float | None = None,
+    ) -> int:
+        """Microjoules elapsed between two reads, handling one wraparound.
+
+        Two raw register values can only witness *one* wraparound: an
+        interval long enough for the counter to wrap twice silently
+        undercounts by a multiple of the register range.  Pass the elapsed
+        time and the package's maximum plausible power to have such
+        intervals rejected — a read interval is safe only while
+        ``elapsed_s <= max_safe_read_interval_s(max_power_watts)``.
+        """
         max_range = int(RAPL_MAX_ENERGY_RANGE_J * 1e6)
+        if elapsed_s is not None and max_power_watts is not None:
+            safe = RaplPackage.max_safe_read_interval_s(max_power_watts)
+            if elapsed_s > safe:
+                raise SensorError(
+                    f"RAPL read interval {elapsed_s:.1f} s may span more "
+                    f"than one counter wraparound (max safe interval at "
+                    f"{max_power_watts:.0f} W is {safe:.1f} s); the "
+                    "unwrapped delta would silently undercount"
+                )
         delta = current_uj - previous_uj
         if delta < 0:
             delta += max_range

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.errors import SchedulerError
+from repro.errors import SchedulerError, SensorError
 from repro.hardware.clock import VirtualClock
 from repro.sensors.telemetry import NodeTelemetry
 
@@ -55,6 +55,12 @@ class AcctGatherEnergyPlugin:
         self.samples: list[EnergySample] = []
         self._next_sample_t = 0.0
         self._active = False
+        # Fault tolerance: a periodic sampler must survive transient sensor
+        # outages — hold the last good reading per node and extrapolate its
+        # energy at the last observed power, as real slurmd daemons do when
+        # an IPMI read times out.  ``degraded_reads`` counts substitutions.
+        self._last_good: list[EnergySample | None] = [None] * len(telemetries)
+        self.degraded_reads = 0
         clock.on_advance(self._on_advance)
 
     @property
@@ -62,13 +68,40 @@ class AcctGatherEnergyPlugin:
         """Which AcctGatherEnergyType this node set maps to."""
         return self.telemetries[0].slurm_plugin_name
 
+    def _read_node(self, node_index: int, t: float) -> EnergySample:
+        """One node's counter at ``t``, degrading to last-good on failure."""
+        tel = self.telemetries[node_index]
+        try:
+            reading = tel.slurm_energy_reading(t)
+        except SensorError:
+            last = self._last_good[node_index]
+            if last is None:
+                # Nothing bounded can be substituted before the first
+                # successful read of this node's counter.
+                raise
+            self.degraded_reads += 1
+            return EnergySample(
+                timestamp=t,
+                node_index=node_index,
+                watts=last.watts,
+                joules=last.joules + last.watts * max(0.0, t - last.timestamp),
+            )
+        sample = EnergySample(
+            timestamp=t,
+            node_index=node_index,
+            watts=reading.watts,
+            joules=reading.joules,
+        )
+        self._last_good[node_index] = sample
+        return sample
+
     def job_start(self) -> None:
         """Record baseline counters (job allocated; prolog begins)."""
         if self._active:
             raise SchedulerError("energy plugin already started")
         t = self.clock.now
         self._base_joules = [
-            tel.slurm_energy_reading(t).joules for tel in self.telemetries
+            self._read_node(i, t).joules for i in range(len(self.telemetries))
         ]
         self._final_joules = None
         self._active = True
@@ -82,21 +115,13 @@ class AcctGatherEnergyPlugin:
         t = self.clock.now
         self._take_samples(t)
         self._final_joules = [
-            tel.slurm_energy_reading(t).joules for tel in self.telemetries
+            self._read_node(i, t).joules for i in range(len(self.telemetries))
         ]
         self._active = False
 
     def _take_samples(self, t: float) -> None:
-        for i, tel in enumerate(self.telemetries):
-            reading = tel.slurm_energy_reading(t)
-            self.samples.append(
-                EnergySample(
-                    timestamp=t,
-                    node_index=i,
-                    watts=reading.watts,
-                    joules=reading.joules,
-                )
-            )
+        for i in range(len(self.telemetries)):
+            self.samples.append(self._read_node(i, t))
 
     def _on_advance(self, now: float) -> None:
         if not self._active:

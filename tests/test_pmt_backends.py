@@ -167,11 +167,12 @@ class TestSampler:
         for _ in range(10):
             clock.advance(0.5)
         sampler.stop()
-        # start sample + 10 boundary samples (t=1..5 crossed over 5 s) + stop
+        # start sample + 5 boundary samples (t=1..5); stop coincides with
+        # the t=5 boundary, so no duplicate final row is emitted.
         times = [row.timestamp for row in sampler.rows]
         assert times[0] == 0.0
         assert times[-1] == 5.0
-        assert len(sampler.rows) == 7
+        assert len(sampler.rows) == 6
 
     def test_coarse_advance_catches_up(self, clock, lumi):
         node, tel = lumi

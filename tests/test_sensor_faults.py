@@ -1,5 +1,5 @@
-"""Failure-injection tests: frozen counters, dropouts, glitches, and the
-corresponding detectors/mitigations."""
+"""Failure-injection tests: frozen counters, dropouts, glitches, the
+corresponding detectors/mitigations, and the resilient degradation ladder."""
 
 import numpy as np
 import pytest
@@ -15,6 +15,11 @@ from repro.sensors.faults import (
     detect_frozen_counter,
     detect_glitches,
     interpolate_energy_across_dropout,
+)
+from repro.sensors.resilient import (
+    ResilientSensor,
+    SensorHealth,
+    diff_counters,
 )
 
 
@@ -120,6 +125,180 @@ class TestGlitch:
     def test_invalid_probability(self, counter):
         with pytest.raises(SensorError):
             GlitchFault(counter, probability=1.5)
+
+
+class TestResilientSensorLadder:
+    def test_transparent_on_healthy_sensor(self, counter):
+        res = ResilientSensor(counter, label="x")
+        assert res.read(5.0) == counter.read(5.0)
+        assert res.health.reads == 1
+        assert res.health.status == "ok"
+
+    def test_retry_steps_over_short_outage(self, counter):
+        # Backoff schedule reads at t, t+0.05, t+0.15, t+0.35: the fourth
+        # attempt lands past a 0.2 s outage.
+        faulty = DropoutFault(counter, 5.0, 5.2)
+        res = ResilientSensor(faulty, label="x")
+        reading = res.read(5.0)
+        assert res.health.retries == 3
+        assert res.health.retry_successes == 1
+        assert res.health.gaps_interpolated == 0
+        assert res.health.status == "ok"
+        assert reading.joules == counter.read(5.35).joules
+
+    def test_interpolates_across_long_outage(self, counter):
+        faulty = DropoutFault(counter, 5.0, 30.0)
+        res = ResilientSensor(faulty, label="x")
+        before = res.read(4.0)
+        reading = res.read(6.0)
+        assert res.health.gaps_interpolated == 1
+        assert res.health.gap_seconds == pytest.approx(2.0)
+        assert res.health.status == "degraded"
+        assert reading.joules == pytest.approx(
+            before.joules + before.watts * (6.0 - before.timestamp)
+        )
+
+    def test_raises_without_last_good_value(self, counter):
+        faulty = DropoutFault(counter, 0.0, 100.0)
+        res = ResilientSensor(faulty, label="x")
+        with pytest.raises(SensorError):
+            res.read(1.0)
+
+    def test_stuck_counter_detected_and_extrapolated(self, counter):
+        faulty = FrozenCounterFault(counter, freeze_at=10.0)
+        res = ResilientSensor(faulty, label="x")
+        reading = None
+        for t in range(31):
+            reading = res.read(float(t))
+        assert res.health.stuck_detections == 1
+        assert res.health.stuck_reads > 0
+        assert res.health.status == "degraded"
+        # Constant 200 W: extrapolating from the freeze anchor is exact.
+        assert reading.joules == pytest.approx(
+            counter.read(30.0).joules, rel=0.01
+        )
+
+    def test_within_refresh_reads_not_flagged_stuck(self, counter):
+        # A healthy sampled counter repeats values inside one refresh
+        # period; the grace window must keep that from tripping detection.
+        res = ResilientSensor(counter, label="x")
+        for t in (1.0, 1.02, 1.04, 1.06, 1.08):
+            res.read(t)
+        assert res.health.stuck_reads == 0
+        assert res.health.status == "ok"
+
+    def test_glitch_rejected_and_substituted(self, counter):
+        faulty = GlitchFault(counter, probability=1.0, magnitude_watts=9e9)
+        res = ResilientSensor(faulty, label="x", plausible_max_watts=1000.0)
+        first = res.read(1.0)
+        assert first.watts == 1000.0  # no last good: clamped to the bound
+        second = res.read(2.0)
+        assert second.watts == 1000.0  # substituted from last good
+        assert second.joules == counter.read(2.0).joules
+        assert res.health.glitches_rejected == 2
+        # Glitch rejection alone never degrades the sensor.
+        assert res.health.status == "ok"
+
+    def test_parameter_validation(self, counter):
+        with pytest.raises(SensorError):
+            ResilientSensor(counter, max_retries=-1)
+        with pytest.raises(SensorError):
+            ResilientSensor(counter, backoff_s=0.0)
+        with pytest.raises(SensorError):
+            ResilientSensor(counter, stuck_reads=0)
+        with pytest.raises(SensorError):
+            ResilientSensor(counter, plausible_max_watts=0.0)
+
+
+class TestSensorHealthRecord:
+    def test_add_accumulates_counters_and_latch(self):
+        a = SensorHealth(reads=2, retries=1)
+        b = SensorHealth(reads=3, gap_seconds=1.5, degraded=True)
+        a.add(b)
+        assert a.reads == 5
+        assert a.retries == 1
+        assert a.gap_seconds == 1.5
+        assert a.degraded
+        assert a.status == "degraded"
+
+    def test_diff_counters_drops_zero_deltas(self):
+        before = SensorHealth(reads=10, retries=2).counters()
+        after = SensorHealth(reads=14, retries=2, gap_seconds=0.5).counters()
+        delta = diff_counters(after, before)
+        assert delta == {"reads": 4, "gap_seconds": 0.5}
+
+
+class TestInjectFault:
+    @pytest.fixture
+    def cscs(self):
+        from repro.config import CSCS_A100
+        from repro.hardware import Node, VirtualClock
+        from repro.sensors import NodeTelemetry
+
+        clock = VirtualClock()
+        node = Node("n0", clock, CSCS_A100.node_spec)
+        return clock, NodeTelemetry(node, CSCS_A100, clock)
+
+    @pytest.fixture
+    def lumi(self):
+        from repro.config import LUMI_G
+        from repro.hardware import Node, VirtualClock
+        from repro.sensors import NodeTelemetry
+
+        clock = VirtualClock()
+        node = Node("n0", clock, LUMI_G.node_spec)
+        return clock, NodeTelemetry(node, LUMI_G, clock)
+
+    def test_unknown_kind_rejected(self, cscs):
+        from repro.sensors.inject import inject_fault
+
+        _, tel = cscs
+        with pytest.raises(SensorError):
+            inject_fault(tel, "meltdown", "gpu0")
+
+    def test_unknown_target_rejected(self, cscs):
+        from repro.sensors.inject import inject_fault
+
+        _, tel = cscs
+        with pytest.raises(SensorError):
+            inject_fault(tel, "freeze", "fpga0")
+
+    def test_out_of_range_gpu_rejected(self, cscs):
+        from repro.sensors.inject import inject_fault
+
+        _, tel = cscs
+        with pytest.raises(SensorError):
+            inject_fault(tel, "freeze", "gpu9")
+
+    def test_no_memory_sensor_off_cray(self, cscs):
+        from repro.sensors.inject import inject_fault
+
+        _, tel = cscs
+        with pytest.raises(SensorError):
+            inject_fault(tel, "freeze", "memory")
+
+    def test_cpu_dropout_reaches_rapl_consumer(self, cscs):
+        from repro.sensors.inject import inject_fault
+
+        clock, tel = cscs
+        wrapper = inject_fault(
+            tel, "dropout", "cpu", outage_start=1.0, outage_end=2.0
+        )
+        assert isinstance(wrapper, DropoutFault)
+        import repro.pmt as pmt
+
+        meter = pmt.create("rapl", telemetry=tel)
+        meter.read()
+        clock.advance(1.5)
+        with pytest.raises(SensorError):
+            meter.read()
+
+    def test_rocm_target_on_cray_platform(self, lumi):
+        from repro.sensors.inject import inject_fault
+
+        _, tel = lumi
+        wrapper = inject_fault(tel, "glitch", "rocm0", probability=1.0)
+        assert isinstance(wrapper, GlitchFault)
 
 
 class TestDetectorEdgeCases:

@@ -1,7 +1,7 @@
 PYTHON ?= python
 PYTEST := PYTHONPATH=src $(PYTHON) -m pytest
 
-.PHONY: test bench bench-smoke bench-faults
+.PHONY: test bench bench-smoke bench-faults bench-timeseries
 
 # Tier-1: the full unit/integration/property suite.
 test:
@@ -19,3 +19,8 @@ bench-smoke:
 # The full fault-injection ablation (both systems, every fault x target).
 bench-faults:
 	$(PYTEST) benchmarks/bench_ablation_fault_tolerance.py -q
+
+# Observability smoke: export a Sedov run trace, bound artifact sizes and
+# event counts, check byte-identical re-export.
+bench-timeseries:
+	$(PYTEST) benchmarks/bench_timeseries.py -q

@@ -15,6 +15,36 @@ from repro.errors import AnalysisError
 #: Characters used to distinguish overlapping series in line charts.
 SERIES_MARKS = "ox+*#@%&"
 
+#: Eight-level block ramp for sparklines (low to high).
+SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(
+    values: list[float],
+    lo: float | None = None,
+    hi: float | None = None,
+) -> str:
+    """One-line block-character rendering of a value sequence.
+
+    ``lo``/``hi`` pin the scale (so successive frames of a live view don't
+    re-normalize); they default to the data's own range.  A flat series
+    renders at the lowest level.
+    """
+    if not values:
+        raise AnalysisError("sparkline needs at least one value")
+    v_lo = lo if lo is not None else min(values)
+    v_hi = hi if hi is not None else max(values)
+    span = v_hi - v_lo
+    if span <= 0:
+        return SPARK_LEVELS[0] * len(values)
+    top = len(SPARK_LEVELS) - 1
+    chars = []
+    for v in values:
+        frac = (v - v_lo) / span
+        level = int(round(frac * top))
+        chars.append(SPARK_LEVELS[min(max(level, 0), top)])
+    return "".join(chars)
+
 
 def bar_chart(
     items: list[tuple[str, float]],

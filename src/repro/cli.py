@@ -7,7 +7,11 @@ Every paper artifact is reachable from the shell:
 * ``fig2`` / ``fig3`` — device and per-function breakdowns;
 * ``fig4`` / ``fig5`` — the frequency-sweep EDP experiments;
 * ``report`` — one instrumented run with sacct + PMT reports
-  (optionally writing the raw measurement JSON);
+  (optionally writing the raw measurement JSON; ``--timeseries`` also
+  exports the retained telemetry timeline);
+* ``export-trace`` — run a case and export Chrome-trace/Prometheus/CSV
+  observability artifacts;
+* ``watch`` — live per-node power sparklines while a run executes;
 * ``tune`` — the dynamic per-function DVFS extension;
 * ``backends`` — the registered PMT backends.
 
@@ -24,7 +28,7 @@ from typing import Sequence
 from repro.analysis.breakdown import device_breakdown
 from repro.analysis.edp import normalized_edp_series
 from repro.analysis.validation import validate_pmt_against_slurm
-from repro.config import SYSTEMS, TEST_CASES, get_system
+from repro.config import OBSERVABILITY_CASES, SYSTEMS, TEST_CASES, get_system
 from repro.errors import ReproError
 
 
@@ -171,6 +175,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
         function_report,
         health_report,
     )
+    from repro.instrumentation.reporting import artifact_report
     from repro.slurm import sacct_report
 
     system = get_system(args.system)
@@ -183,6 +188,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
         resilient=not args.no_resilient,
         inject_fault=args.inject_fault,
         fault_target=args.fault_target,
+        timeseries=args.timeseries,
     )
     print(sacct_report([result.accounting]))
     print()
@@ -194,9 +200,93 @@ def _cmd_report(args: argparse.Namespace) -> int:
         print(health_report(result.run))
     point = validate_pmt_against_slurm(result.run, result.accounting, args.cards)
     print(f"\nPMT/Slurm = {point.ratio:.3f} (quality: {point.quality})")
+    if args.timeseries:
+        from repro.timeseries import export_bundle
+
+        collector = result.timeseries
+        artifacts = export_bundle(
+            args.artifacts_dir,
+            collector.store,
+            collector.spans,
+            metadata=_run_metadata(result),
+            basename=_artifact_basename(args.case, args.cards),
+        )
+        print()
+        print(artifact_report(artifacts))
     if args.out:
         result.run.write(args.out)
         print(f"measurements written to {args.out}")
+    return 0
+
+
+def _artifact_basename(case: str, cards: int) -> str:
+    return f"{case.replace(' ', '-').lower()}-{cards}c"
+
+
+def _run_metadata(result) -> dict:
+    return {
+        "system": result.system.name,
+        "test_case": result.test_case.name,
+        "num_cards": result.num_cards,
+        "gpu_freq_mhz": result.gpu_freq_mhz,
+        "num_steps": result.run.num_steps,
+    }
+
+
+def _run_with_collector(args: argparse.Namespace, collector=None):
+    from repro.experiments.runner import run_scaled_experiment
+
+    return run_scaled_experiment(
+        get_system(args.system),
+        OBSERVABILITY_CASES[args.case],
+        args.cards,
+        num_steps=args.steps,
+        power_sample_interval_s=args.interval,
+        timeseries=True,
+        collector=collector,
+    )
+
+
+def _cmd_export_trace(args: argparse.Namespace) -> int:
+    from repro.instrumentation.reporting import artifact_report
+    from repro.timeseries import export_bundle
+
+    result = _run_with_collector(args)
+    collector = result.timeseries
+    artifacts = export_bundle(
+        args.out_dir,
+        collector.store,
+        collector.spans,
+        metadata=_run_metadata(result),
+        basename=_artifact_basename(args.case, args.cards),
+    )
+    summary = collector.summary()
+    print(
+        f"{args.case} on {args.system}: "
+        f"{summary['samples']} samples over {summary['channels']} channels, "
+        f"{summary['spans']} region spans "
+        f"({summary['store_bytes'] / 1024:.0f} KiB retained)"
+    )
+    print(artifact_report(artifacts))
+    return 0
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    from repro.timeseries import TimeseriesCollector, attach_live_printer
+
+    collector = TimeseriesCollector()
+    view = attach_live_printer(
+        collector, every_ticks=args.every, width=args.width
+    )
+    result = _run_with_collector(args, collector=collector)
+    # Final frame: the completed run's full dashboard.
+    print(view.render())
+    summary = collector.summary()
+    print(
+        f"\nrun complete: {summary['samples']} samples, "
+        f"{summary['spans']} spans, "
+        f"{result.run.app_seconds:.0f} s instrumented window"
+    )
     return 0
 
 
@@ -315,8 +405,57 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="measure without the fault-tolerant layer (faults then abort)",
     )
+    p.add_argument(
+        "--timeseries",
+        action="store_true",
+        help="retain the telemetry timeline and export observability artifacts",
+    )
+    p.add_argument(
+        "--artifacts-dir",
+        default="artifacts",
+        help="directory for --timeseries exports (default: artifacts/)",
+    )
     _add_steps(p)
     p.set_defaults(func=_cmd_report)
+
+    p = sub.add_parser(
+        "export-trace",
+        help="run a case, export Chrome-trace/Prometheus/CSV artifacts",
+    )
+    p.add_argument("--system", default="CSCS-A100", choices=sorted(SYSTEMS))
+    p.add_argument(
+        "--case", default="Sedov Blast", choices=sorted(OBSERVABILITY_CASES)
+    )
+    p.add_argument("--cards", type=int, default=8)
+    p.add_argument(
+        "--interval", type=float, default=None,
+        help="sampling period in simulated seconds (default 1.0)",
+    )
+    p.add_argument(
+        "--out-dir", default="artifacts", help="artifact directory"
+    )
+    _add_steps(p)
+    p.set_defaults(func=_cmd_export_trace)
+
+    p = sub.add_parser(
+        "watch", help="live per-node power sparklines while a run executes"
+    )
+    p.add_argument("--system", default="CSCS-A100", choices=sorted(SYSTEMS))
+    p.add_argument(
+        "--case", default="Sedov Blast", choices=sorted(OBSERVABILITY_CASES)
+    )
+    p.add_argument("--cards", type=int, default=8)
+    p.add_argument(
+        "--interval", type=float, default=None,
+        help="sampling period in simulated seconds (default 1.0)",
+    )
+    p.add_argument(
+        "--every", type=int, default=50,
+        help="render a frame every N sampler ticks (default 50)",
+    )
+    p.add_argument("--width", type=int, default=48, help="sparkline width")
+    _add_steps(p, default=20)
+    p.set_defaults(func=_cmd_watch)
 
     p = sub.add_parser(
         "compare", help="A/B per-function comparison between two systems"

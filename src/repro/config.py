@@ -398,6 +398,24 @@ EVRARD_COLLAPSE = TestCaseConfig(
     global_particles_billions=(0.6, 1.2, 2.4, 3.2, 4.8, 7.7),
 )
 
+#: Pure-hydro blast demo case used by the observability commands
+#: (``export-trace`` / ``watch``).  Not part of Table 1 — the paper's
+#: production cases stay the only entries in :data:`TEST_CASES`.
+SEDOV_BLAST = TestCaseConfig(
+    name="Sedov Blast",
+    particles_per_gpu=125e6,
+    num_steps=100,
+    has_gravity=False,
+    has_driving=False,
+    global_particles_billions=(1.0, 2.0, 4.0),
+)
+
 TEST_CASES: dict[str, TestCaseConfig] = {
     c.name: c for c in (SUBSONIC_TURBULENCE, EVRARD_COLLAPSE)
+}
+
+#: Cases the observability commands accept: the paper cases plus Sedov.
+OBSERVABILITY_CASES: dict[str, TestCaseConfig] = {
+    **TEST_CASES,
+    SEDOV_BLAST.name: SEDOV_BLAST,
 }

@@ -40,6 +40,8 @@ class ExperimentResult:
     run: RunMeasurements
     #: Per-node PMT samplers (power profiles), when sampling was requested.
     power_samplers: tuple = ()
+    #: Retained telemetry timeline (``timeseries=True`` / collector given).
+    timeseries: object | None = None
 
 
 def functions_for(test_case: TestCaseConfig) -> tuple[str, ...]:
@@ -116,6 +118,8 @@ def run_scaled_experiment(
     fault_target: str = "gpu0",
     fault_node: int = 0,
     fault_kwargs: dict | None = None,
+    timeseries: bool = False,
+    collector=None,
 ) -> ExperimentResult:
     """Run one paper-scale instrumented job.
 
@@ -132,6 +136,16 @@ def run_scaled_experiment(
     parameters (``freeze_at``, ``outage_start``/``outage_end``,
     ``probability``/``magnitude_watts``/``seed``) to the fault wrapper,
     e.g. to place the fault inside the instrumented window.
+
+    ``timeseries`` (or an explicit
+    :class:`~repro.timeseries.collect.TimeseriesCollector` via
+    ``collector``) retains the full telemetry timeline: one per-node
+    sampler streams every tick into the collector's store, and the
+    profiler's region marks are recorded as spans.  The collector's
+    samplers own *separate* meter and telemetry-counter instances (same
+    ground-truth traces and noise seeds), so measured per-region energies
+    are bit-identical with the collector on or off.  The sampling
+    period defaults to ``power_sample_interval_s`` (or 1 s when unset).
     """
     num_nodes = system.nodes_for_cards(num_cards)
     clock = VirtualClock()
@@ -167,6 +181,12 @@ def run_scaled_experiment(
 
     perfmodel = SphPerformanceModel(cost_model, n_per_rank, seed=seed)
     profiler = EnergyProfiler(placement, telemetries, system, resilient=resilient)
+    if timeseries or collector is not None:
+        if collector is None:
+            from repro.timeseries import TimeseriesCollector
+
+            collector = TimeseriesCollector()
+        profiler.span_recorder = collector.spans
     app = ScaledSphApplication(
         engine=engine,
         profiler=profiler,
@@ -177,16 +197,42 @@ def run_scaled_experiment(
     )
 
     samplers = ()
-    if power_sample_interval_s is not None:
+    if power_sample_interval_s is not None or collector is not None:
         from repro.pmt.sampler import PmtSampler
 
+        interval = (
+            power_sample_interval_s if power_sample_interval_s is not None else 1.0
+        )
+        sampled_telemetries = telemetries
+        if collector is not None:
+            # The collector's samplers read *replica* telemetry: separate
+            # counter instances over the same ground-truth traces and noise
+            # seeds.  Sensor counters extend their cached integral lazily at
+            # read time, so an extra observer on the shared instances would
+            # re-chunk that accumulation and shift profiler readings in the
+            # last bit; replicas keep measured per-region energies
+            # bit-identical with the collector on or off.
+            sampled_telemetries = [
+                NodeTelemetry(node, system, clock, seed=seed + i)
+                for i, node in enumerate(cluster.nodes)
+            ]
+            if inject_fault is not None:
+                install_fault(
+                    sampled_telemetries[fault_node],
+                    inject_fault,
+                    fault_target,
+                    **(fault_kwargs or {}),
+                )
         samplers = tuple(
             PmtSampler(
                 _node_meter(tel, resilient=resilient),
-                interval_s=power_sample_interval_s,
+                interval_s=interval,
             )
-            for tel in telemetries
+            for tel in sampled_telemetries
         )
+        if collector is not None:
+            for node_index, sampler in enumerate(samplers):
+                collector.attach(node_index, sampler)
         for sampler in samplers:
             sampler.start()
 
@@ -210,4 +256,5 @@ def run_scaled_experiment(
         accounting=accounting,
         run=run,
         power_samplers=samplers,
+        timeseries=collector,
     )

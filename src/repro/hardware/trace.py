@@ -136,9 +136,27 @@ class PowerTrace:
         np.clip(idx, 0, None, out=idx)
         return self._watts[: self._n][idx]
 
+    def as_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """Read-only zero-copy views of the ``(times, watts)`` breakpoints.
+
+        The public accessor for exporters and analysis code — nothing
+        outside this class should reach into the private growable buffers
+        (whose length exceeds the logical size, and whose cached
+        cumulative-energy prefix is invalidated on append).  The views are
+        snapshots: a later append may reallocate the backing buffers, so
+        hold the views only for the duration of one export, and copy
+        (:meth:`breakpoints`) to keep them.
+        """
+        times = self._times[: self._n].view()
+        watts = self._watts[: self._n].view()
+        times.flags.writeable = False
+        watts.flags.writeable = False
+        return times, watts
+
     def breakpoints(self) -> tuple[np.ndarray, np.ndarray]:
         """Copies of the ``(times, watts)`` breakpoint arrays."""
-        return self._times[: self._n].copy(), self._watts[: self._n].copy()
+        times, watts = self.as_arrays()
+        return times.copy(), watts.copy()
 
 
 class SummedPowerTrace:

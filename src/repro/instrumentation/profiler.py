@@ -182,6 +182,12 @@ class EnergyProfiler:
                     )
                 self._nvml[rank] = gpu_meter
 
+        #: Optional :class:`~repro.timeseries.spans.SpanRecorder`: when
+        #: set, every begin/end mark also records a region span (pure
+        #: observation — no PMT read happens on its behalf, so measured
+        #: energies are unchanged).
+        self.span_recorder = None
+
         self._node_cache: dict[tuple[int, float], dict[str, float]] = {}
         self._open: dict[
             int, tuple[float, dict[str, float], dict[str, float] | None]
@@ -264,6 +270,12 @@ class EnergyProfiler:
             loc = self.placement.location(rank)
             health = self._node_health_counters(loc.node_index)
         self._open[rank] = (self.clock.now, self.snapshot(rank), health)
+        if self.span_recorder is not None:
+            self.span_recorder.begin(
+                rank,
+                self.clock.now,
+                node_index=self.placement.location(rank).node_index,
+            )
 
     def end(self, rank: int, function: str) -> None:
         """Called when a rank's function call completes (its own end time)."""
@@ -287,6 +299,8 @@ class EnergyProfiler:
             record = FunctionEnergyRecord(rank=rank, function=function)
             self._records[key] = record
         record.accumulate(self.clock.now - t0, deltas, health)
+        if self.span_recorder is not None:
+            self.span_recorder.end(rank, function, self.clock.now)
 
     # -- run window -----------------------------------------------------------------
 
@@ -301,12 +315,16 @@ class EnergyProfiler:
     def start_app(self) -> None:
         """Mark the start of the instrumented window (first time-step)."""
         self._app_window = (self.clock.now, self._window_snapshots())
+        if self.span_recorder is not None:
+            self.span_recorder.instant("app_start", self.clock.now)
 
     def end_app(self) -> None:
         """Mark the end of the instrumented window (last time-step)."""
         if self._app_window is None:
             raise MeasurementError("end_app() without start_app()")
         self._app_end = (self.clock.now, self._window_snapshots())
+        if self.span_recorder is not None:
+            self.span_recorder.instant("app_end", self.clock.now)
 
     # -- gather -----------------------------------------------------------------------
 

@@ -12,6 +12,23 @@ from repro.instrumentation.records import RunMeasurements
 from repro.units import format_duration, joules_to_megajoules
 
 
+def artifact_report(artifacts: dict[str, object]) -> str:
+    """Link exported observability artifacts into the run report.
+
+    ``artifacts`` maps a kind (``chrome-trace``, ``prometheus``, ``csv``,
+    ``jsonl``) to the written path — the dict
+    :func:`repro.timeseries.export.export_bundle` returns.  Kinds are
+    listed sorted so the report is deterministic.
+    """
+    if not artifacts:
+        return "Exported artifacts: none"
+    lines = ["Exported artifacts:"]
+    width = max(len(kind) for kind in artifacts)
+    for kind in sorted(artifacts):
+        lines.append(f"  {kind:>{width}}  {artifacts[kind]}")
+    return "\n".join(lines)
+
+
 def telemetry_qc_line(run: RunMeasurements) -> str:
     """One-line data-quality verdict for a run's measurements."""
     if not run.telemetry_health:

@@ -11,12 +11,13 @@ sampling observes exactly what a free-running thread would.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from pathlib import Path
+from typing import Callable
 
 from repro.errors import MeasurementError
 from repro.pmt.base import PMT
+from repro.pmt.state import State
 
 
 @dataclass(frozen=True)
@@ -28,6 +29,35 @@ class SampleRow:
     watts: float
 
 
+@dataclass(frozen=True)
+class SampleTick:
+    """One structured sampling event, delivered to tick listeners.
+
+    Carries the primary counter's values plus the full meter
+    :class:`~repro.pmt.state.State`, so consumers (the time-series
+    collector) can stream every named measurement — including degraded or
+    held reads, which arrive tagged with their quality — without reaching
+    into sampler internals.
+    """
+
+    #: Zero-based index of this tick within its start()/stop() segment.
+    index: int
+    #: How many times start() had been called when this tick fired (1-based).
+    segment: int
+    timestamp: float
+    joules: float
+    watts: float
+    #: Primary measurement quality ("ok" unless the read was mitigated).
+    quality: str
+    #: The full meter state behind this tick.
+    state: State
+
+    @property
+    def healthy(self) -> bool:
+        """True when every measurement in the state is a plain read."""
+        return all(m.quality == "ok" for m in self.state.measurements)
+
+
 class PmtSampler:
     """Periodic sampler over one PMT instance.
 
@@ -37,15 +67,28 @@ class PmtSampler:
         The PMT instance to sample.
     interval_s:
         Sampling period in (simulated) seconds.
+    on_sample:
+        Optional tick listener registered at construction (see
+        :meth:`add_listener`).
     """
 
-    def __init__(self, meter: PMT, interval_s: float = 1.0) -> None:
+    def __init__(
+        self,
+        meter: PMT,
+        interval_s: float = 1.0,
+        on_sample: Callable[[SampleTick], None] | None = None,
+    ) -> None:
         if interval_s <= 0:
             raise MeasurementError("sampler interval must be positive")
         self.meter = meter
         self.interval_s = float(interval_s)
         self.rows: list[SampleRow] = []
+        self._listeners: list[Callable[[SampleTick], None]] = []
+        if on_sample is not None:
+            self._listeners.append(on_sample)
         self._running = False
+        self._segment = 0
+        self._tick_index = 0
         # Sampling boundaries are computed as ``start + k * interval`` from
         # an integer tick index — never by repeatedly adding the interval,
         # which accumulates floating-point drift over long runs.
@@ -69,6 +112,7 @@ class PmtSampler:
         self._start_t = self.meter.clock.now
         self._tick = 1
         self._last_boundary_t = None
+        self._segment += 1
         self._take_sample()
 
     def stop(self) -> None:
@@ -84,15 +128,35 @@ class PmtSampler:
             self._take_sample()
         self._running = False
 
+    def add_listener(self, listener: Callable[[SampleTick], None]) -> None:
+        """Register a per-tick callback.
+
+        Listeners fire on every sample — the start() sample, each boundary
+        catch-up, and the final stop() sample — in registration order,
+        after the row has been appended.  A listener must not advance the
+        clock or re-enter the sampler.
+        """
+        self._listeners.append(listener)
+
     def _take_sample(self) -> None:
         state = self.meter.read()
+        now = self.meter.clock.now
         self.rows.append(
-            SampleRow(
-                timestamp=self.meter.clock.now,
+            SampleRow(timestamp=now, joules=state.joules, watts=state.watts)
+        )
+        if self._listeners:
+            tick = SampleTick(
+                index=self._tick_index,
+                segment=self._segment,
+                timestamp=now,
                 joules=state.joules,
                 watts=state.watts,
+                quality=state.primary.quality,
+                state=state,
             )
-        )
+            for listener in self._listeners:
+                listener(tick)
+        self._tick_index += 1
 
     def _on_advance(self, now: float) -> None:
         if not self._running:

@@ -1,0 +1,102 @@
+"""Streaming tap between the PMT samplers and the sample store.
+
+A :class:`TimeseriesCollector` subscribes to the structured per-tick
+callback of one :class:`~repro.pmt.sampler.PmtSampler` per node and
+streams every named measurement of every tick into a
+:class:`~repro.timeseries.store.SampleStore` channel, preserving the
+measurement's quality tag (so interpolated/extrapolated/held reads from
+the resilient layer stay visible in the timeline).
+
+The collector is purely observational: it registers listeners on samplers
+that own their *own* meter instances, never touches the profiler's
+meters, and therefore cannot perturb measured per-region energy — a run
+with the collector attached reports bit-identical energies to one
+without.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.pmt.sampler import PmtSampler, SampleTick
+from repro.timeseries.spans import SpanRecorder
+from repro.timeseries.store import SampleStore
+
+
+class TimeseriesCollector:
+    """Retains the full telemetry timeline of one run.
+
+    Parameters
+    ----------
+    store:
+        The tiered sample store (created with defaults when omitted).
+    spans:
+        The region-span recorder (created when omitted); attach it to the
+        profiler to correlate samples with function regions.
+    """
+
+    def __init__(
+        self,
+        store: SampleStore | None = None,
+        spans: SpanRecorder | None = None,
+    ) -> None:
+        self.store = store if store is not None else SampleStore()
+        self.spans = spans if spans is not None else SpanRecorder()
+        #: Optional hook fired after each tick is stored — the live view
+        #: uses it to re-render without polling.
+        self.on_sample: Callable[[int, SampleTick], None] | None = None
+        self._attached = 0
+
+    @property
+    def num_attached(self) -> int:
+        """How many samplers feed this collector."""
+        return self._attached
+
+    def attach(self, node_index: int, sampler: PmtSampler) -> None:
+        """Subscribe to one node's sampler ticks."""
+        sampler.add_listener(
+            lambda tick, node=int(node_index): self._on_tick(node, tick)
+        )
+        self._attached += 1
+
+    def _on_tick(self, node_index: int, tick: SampleTick) -> None:
+        for m in tick.state.measurements:
+            self.store.record(
+                node_index,
+                m.name,
+                tick.timestamp,
+                m.watts,
+                m.joules,
+                m.quality,
+            )
+        if self.on_sample is not None:
+            self.on_sample(node_index, tick)
+
+    # -- summaries ----------------------------------------------------------
+
+    def node_power_channel(self, node_index: int) -> tuple[int, str] | None:
+        """The best whole-node power channel of one node.
+
+        Prefers the composite/cray aggregate (``total``/``node``), falling
+        back to the node's first channel in sorted order.
+        """
+        names = [name for node, name in self.store.channels() if node == node_index]
+        if not names:
+            return None
+        for preferred in ("total", "node"):
+            if preferred in names:
+                return (node_index, preferred)
+        return (node_index, names[0])
+
+    def nodes(self) -> list[int]:
+        """Node indices with at least one channel, sorted."""
+        return sorted({node for node, _ in self.store.channels()})
+
+    def summary(self) -> dict[str, float | int]:
+        """Counts for reports and smoke benchmarks."""
+        return {
+            "channels": len(self.store),
+            "samples": self.store.num_samples,
+            "spans": len(self.spans),
+            "store_bytes": self.store.nbytes,
+        }

@@ -1,0 +1,301 @@
+"""Tool-agnostic exporters for retained telemetry timelines.
+
+Three formats, chosen for what energy practitioners actually load:
+
+* **Chrome trace** (``chrome://tracing`` / Perfetto) — the Trace Event
+  Format JSON: one counter track per sensor channel (``ph: "C"``), one
+  complete duration event per function-region span (``ph: "X"``), plus
+  process/thread metadata so nodes and ranks get readable labels;
+* **Prometheus text exposition** — latest power gauge, cumulative energy
+  counter and sample/degraded-sample counters per channel, ready for a
+  ``node_exporter`` textfile collector or a pushgateway;
+* **CSV / JSONL dumps** — every retained point of every tier, for pandas
+  and ad-hoc scripts.
+
+All exports are deterministic: channels are sorted by ``(node, name)``,
+span events by ``(start, name, rank)``, and JSON keys are sorted — two
+runs with the same seed produce byte-identical files.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.timeseries.spans import SpanRecorder
+from repro.timeseries.store import SampleStore, quality_name
+
+#: Seconds -> Trace Event Format microseconds.
+_US = 1e6
+
+
+# -- Chrome trace -----------------------------------------------------------
+
+
+def chrome_trace_events(
+    store: SampleStore,
+    spans: SpanRecorder | None = None,
+    node_names: dict[int, str] | None = None,
+) -> list[dict]:
+    """The ``traceEvents`` list of the Trace Event Format export."""
+    events: list[dict] = []
+
+    nodes = sorted({node for node, _ in store.channels()})
+    if spans is not None:
+        nodes = sorted(set(nodes) | {s.node_index for s in spans.spans if s.node_index >= 0})
+    for node in nodes:
+        label = (node_names or {}).get(node, f"node{node}")
+        events.append(
+            {
+                "ph": "M",
+                "name": "process_name",
+                "pid": node,
+                "tid": 0,
+                "ts": 0,
+                "args": {"name": label},
+            }
+        )
+
+    # Counter tracks: one per channel, samples in time order (ties broken
+    # by the sorted channel iteration).
+    for node, name in store.channels():
+        series = store.channel(node, name)
+        pts = series.points()
+        for t, w, j in zip(pts["t"], pts["watts"], pts["joules"]):
+            events.append(
+                {
+                    "ph": "C",
+                    "name": f"{name} [W]",
+                    "pid": node,
+                    "tid": 0,
+                    "ts": float(t) * _US,
+                    "args": {"watts": float(w)},
+                }
+            )
+
+    if spans is not None:
+        ranks = sorted({s.rank for s in spans.spans})
+        rank_nodes = {s.rank: s.node_index for s in spans.spans}
+        for rank in ranks:
+            node = rank_nodes.get(rank, -1)
+            events.append(
+                {
+                    "ph": "M",
+                    "name": "thread_name",
+                    "pid": node if node >= 0 else 0,
+                    "tid": rank,
+                    "ts": 0,
+                    "args": {"name": f"rank{rank}"},
+                }
+            )
+        for span in spans.events_sorted():
+            events.append(
+                {
+                    "ph": "X",
+                    "name": span.function,
+                    "cat": "region",
+                    "pid": span.node_index if span.node_index >= 0 else 0,
+                    "tid": span.rank,
+                    "ts": span.t0 * _US,
+                    "dur": span.seconds * _US,
+                    "args": {},
+                }
+            )
+        for mark in spans.instants:
+            events.append(
+                {
+                    "ph": "i",
+                    "s": "g",
+                    "name": mark.name,
+                    "pid": 0,
+                    "tid": 0,
+                    "ts": mark.t * _US,
+                    "args": {},
+                }
+            )
+    # Canonical order: stable sort over the fields every event carries.
+    events.sort(key=lambda e: (e["ts"], e["ph"], e["pid"], e["tid"], e["name"]))
+    return events
+
+
+def chrome_trace(
+    store: SampleStore,
+    spans: SpanRecorder | None = None,
+    node_names: dict[int, str] | None = None,
+    metadata: dict | None = None,
+) -> dict:
+    """The full Trace Event Format document (JSON-object flavour)."""
+    doc = {
+        "traceEvents": chrome_trace_events(store, spans, node_names),
+        "displayTimeUnit": "ms",
+    }
+    if metadata:
+        doc["otherData"] = {k: metadata[k] for k in sorted(metadata)}
+    return doc
+
+
+def write_chrome_trace(
+    path: str | Path,
+    store: SampleStore,
+    spans: SpanRecorder | None = None,
+    node_names: dict[int, str] | None = None,
+    metadata: dict | None = None,
+) -> Path:
+    """Write the Chrome-trace JSON; returns the path."""
+    path = Path(path)
+    doc = chrome_trace(store, spans, node_names, metadata)
+    path.write_text(json.dumps(doc, sort_keys=True, separators=(",", ":")))
+    return path
+
+
+# -- Prometheus text exposition ---------------------------------------------
+
+
+def _label_str(labels: dict[str, str]) -> str:
+    inner = ",".join(f'{k}="{v}"' for k, v in sorted(labels.items()))
+    return "{" + inner + "}"
+
+
+def prometheus_text(store: SampleStore, prefix: str = "repro") -> str:
+    """Render the store's current state in Prometheus text format.
+
+    Exposes, per ``(node, channel)``: the newest power reading as a gauge,
+    the cumulative energy counter, total samples ingested, and how many
+    retained points carry a non-``ok`` quality tag.
+    """
+    gauges: list[str] = []
+    energy: list[str] = []
+    samples: list[str] = []
+    degraded: list[str] = []
+    for node, name in store.channels():
+        series = store.channel(node, name)
+        t, watts, joules, _quality = series.latest
+        labels = _label_str({"node": str(node), "channel": name})
+        gauges.append(f"{prefix}_power_watts{labels} {watts:.6g}")
+        energy.append(f"{prefix}_energy_joules_total{labels} {joules:.6g}")
+        samples.append(
+            f"{prefix}_samples_total{labels} {series.total_appended}"
+        )
+        degraded.append(
+            f"{prefix}_degraded_points{labels} {series.degraded_points()}"
+        )
+    lines = [
+        f"# HELP {prefix}_power_watts Latest sampled power per sensor channel.",
+        f"# TYPE {prefix}_power_watts gauge",
+        *gauges,
+        f"# HELP {prefix}_energy_joules_total Cumulative energy counter per channel.",
+        f"# TYPE {prefix}_energy_joules_total counter",
+        *energy,
+        f"# HELP {prefix}_samples_total Samples ingested per channel.",
+        f"# TYPE {prefix}_samples_total counter",
+        *samples,
+        f"# HELP {prefix}_degraded_points Retained points with a non-ok quality tag.",
+        f"# TYPE {prefix}_degraded_points gauge",
+        *degraded,
+    ]
+    return "\n".join(lines) + "\n"
+
+
+def write_prometheus(
+    path: str | Path, store: SampleStore, prefix: str = "repro"
+) -> Path:
+    """Write the Prometheus exposition file; returns the path."""
+    path = Path(path)
+    path.write_text(prometheus_text(store, prefix))
+    return path
+
+
+# -- flat dumps -------------------------------------------------------------
+
+_DUMP_HEADER = ("node", "channel", "tier", "time_s", "watts", "joules", "quality")
+
+
+def _dump_rows(store: SampleStore):
+    from repro.timeseries.store import TIERS
+
+    for node, name in store.channels():
+        pts = store.channel(node, name).points()
+        for t, w, j, q, tier in zip(
+            pts["t"], pts["watts"], pts["joules"], pts["quality"], pts["tier"]
+        ):
+            yield (
+                node,
+                name,
+                TIERS[int(tier)],
+                float(t),
+                float(w),
+                float(j),
+                quality_name(int(q)),
+            )
+
+
+def write_csv(path: str | Path, store: SampleStore) -> Path:
+    """Write every retained point as CSV; returns the path."""
+    path = Path(path)
+    lines = [",".join(_DUMP_HEADER)]
+    for node, name, tier, t, w, j, q in _dump_rows(store):
+        lines.append(f"{node},{name},{tier},{t:.9g},{w:.9g},{j:.9g},{q}")
+    path.write_text("\n".join(lines) + "\n")
+    return path
+
+
+def write_jsonl(path: str | Path, store: SampleStore) -> Path:
+    """Write every retained point as JSON lines; returns the path."""
+    path = Path(path)
+    with path.open("w") as fh:
+        for node, name, tier, t, w, j, q in _dump_rows(store):
+            fh.write(
+                json.dumps(
+                    {
+                        "node": node,
+                        "channel": name,
+                        "tier": tier,
+                        "time_s": t,
+                        "watts": w,
+                        "joules": j,
+                        "quality": q,
+                    },
+                    sort_keys=True,
+                )
+                + "\n"
+            )
+    return path
+
+
+def write_trace_csv(path: str | Path, name: str, trace) -> Path:
+    """Dump a ground-truth :class:`~repro.hardware.trace.PowerTrace`.
+
+    Uses the trace's public :meth:`~repro.hardware.trace.PowerTrace.as_arrays`
+    view — exporters never reach into the trace's private buffers.
+    """
+    path = Path(path)
+    times, watts = trace.as_arrays()
+    lines = ["time_s,watts"]
+    lines += [f"{t:.9g},{w:.9g}" for t, w in zip(times, watts)]
+    path.write_text("\n".join(lines) + "\n")
+    return path
+
+
+def export_bundle(
+    out_dir: str | Path,
+    store: SampleStore,
+    spans: SpanRecorder | None = None,
+    node_names: dict[int, str] | None = None,
+    metadata: dict | None = None,
+    basename: str = "run",
+) -> dict[str, Path]:
+    """Write the full artifact set into ``out_dir``.
+
+    Returns ``{kind: path}`` for the trace JSON, Prometheus text, CSV and
+    JSONL dumps — the dict the reporting layer links into the run report.
+    """
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    return {
+        "chrome-trace": write_chrome_trace(
+            out_dir / f"{basename}.trace.json", store, spans, node_names, metadata
+        ),
+        "prometheus": write_prometheus(out_dir / f"{basename}.prom", store),
+        "csv": write_csv(out_dir / f"{basename}.samples.csv", store),
+        "jsonl": write_jsonl(out_dir / f"{basename}.samples.jsonl", store),
+    }

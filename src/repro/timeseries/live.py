@@ -1,0 +1,122 @@
+"""Live run observability: rolling per-node power sparklines.
+
+Renders the collector's retained timeline as a compact text frame — one
+sparkline per node over the newest power samples, the current power and
+energy readings, per-channel quality flags, and the function-region
+annotation of the node's ranks.  ``python -m repro watch`` re-renders a
+frame every N sampler ticks, so a long run can be watched as it executes
+(in simulated time, ticks arrive exactly as a wall-clock watcher would
+see them).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.analysis.ascii_plot import sparkline
+from repro.timeseries.collect import TimeseriesCollector
+
+
+class LiveView:
+    """Rolling text dashboard over one collector.
+
+    Parameters
+    ----------
+    collector:
+        The collector being watched.
+    width:
+        Sparkline width in characters (newest samples shown).
+    rank_of_node:
+        Optional ``{node_index: [ranks...]}`` used for the current-region
+        annotation; without it the view annotates from span data alone.
+    """
+
+    def __init__(
+        self,
+        collector: TimeseriesCollector,
+        width: int = 48,
+        rank_of_node: dict[int, list[int]] | None = None,
+    ) -> None:
+        self.collector = collector
+        self.width = int(width)
+        self.rank_of_node = rank_of_node or {}
+
+    def _node_annotation(self, node: int) -> str:
+        spans = self.collector.spans
+        ranks = self.rank_of_node.get(node)
+        if ranks is None:
+            ranks = sorted(
+                {s.rank for s in spans.spans if s.node_index == node}
+            )
+        for rank in ranks:
+            note = spans.current_annotation(rank)
+            if note:
+                return note
+        return "-"
+
+    def render(self) -> str:
+        """One frame of the dashboard."""
+        store = self.collector.store
+        nodes = self.collector.nodes()
+        if not nodes:
+            return "(no samples yet)"
+        lines: list[str] = []
+        latest_t = 0.0
+        rows: list[tuple[int, str, list[float], float, float, str]] = []
+        # Shared power scale across nodes so sparklines are comparable.
+        p_lo, p_hi = float("inf"), 0.0
+        for node in nodes:
+            key = self.collector.node_power_channel(node)
+            if key is None:
+                continue
+            series = store.channel(*key)
+            pts = series.points()
+            watts = [float(w) for w in pts["watts"][-self.width:]]
+            t, w_now, joules, quality = series.latest
+            latest_t = max(latest_t, t)
+            p_lo = min(p_lo, min(watts))
+            p_hi = max(p_hi, max(watts))
+            rows.append((node, key[1], watts, w_now, joules, quality))
+        lines.append(
+            f"t={latest_t:.1f}s  "
+            f"samples={store.num_samples}  "
+            f"channels={len(store)}  "
+            f"spans={len(self.collector.spans)}"
+        )
+        for node, channel, watts, w_now, joules, quality in rows:
+            spark = sparkline(watts, lo=p_lo, hi=p_hi)
+            flag = "" if quality == "ok" else f" [{quality}]"
+            note = self._node_annotation(node)
+            lines.append(
+                f"node{node:<2} {channel:>6} |{spark:<{self.width}}| "
+                f"{w_now:8.1f} W {joules / 1e6:9.3f} MJ{flag}  {note}"
+            )
+        return "\n".join(lines)
+
+
+def attach_live_printer(
+    collector: TimeseriesCollector,
+    every_ticks: int = 50,
+    width: int = 48,
+    rank_of_node: dict[int, list[int]] | None = None,
+    print_fn: Callable[[str], None] = print,
+) -> LiveView:
+    """Print a dashboard frame every ``every_ticks`` stored ticks.
+
+    Hooks the collector's ``on_sample`` callback; frames are separated by
+    a blank line (plain stdout, no terminal control sequences — safe under
+    pipes and CI logs).
+    """
+    if every_ticks < 1:
+        raise ValueError("every_ticks must be >= 1")
+    view = LiveView(collector, width=width, rank_of_node=rank_of_node)
+    counter = {"ticks": 0}
+
+    def _on_sample(node_index: int, tick) -> None:
+        counter["ticks"] += 1
+        if counter["ticks"] % every_ticks == 0:
+            print_fn(view.render())
+            print_fn("")
+
+    collector.on_sample = _on_sample
+    return view

@@ -1,0 +1,142 @@
+"""Function-region spans: the attribution context of the telemetry.
+
+The :class:`~repro.instrumentation.profiler.EnergyProfiler` marks a region
+open when a rank enters an instrumented function and closed when that
+rank's call completes.  A :class:`SpanRecorder` attached to the profiler
+turns those marks into retained :class:`Span` rows, so every telemetry
+sample can be correlated with the function that was executing when it was
+taken — the timeline currency the exporters (Chrome trace duration
+events) and the live view (current-region annotation) are built on.
+
+Span queries bisect a lazily-sorted index, so ``function_at(rank, t)``
+stays O(log n) over million-span runs.  Export ordering is always
+``(start, name, rank)`` — byte-identical output for identical runs.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+
+from repro.errors import MeasurementError
+
+
+@dataclass(frozen=True)
+class Span:
+    """One completed function-region execution on one rank."""
+
+    rank: int
+    function: str
+    t0: float
+    t1: float
+    #: Node the rank lives on (-1 when placement is unknown).
+    node_index: int = -1
+
+    @property
+    def seconds(self) -> float:
+        return self.t1 - self.t0
+
+
+@dataclass(frozen=True)
+class Instant:
+    """A run-lifecycle mark (app window start/end)."""
+
+    name: str
+    t: float
+
+
+class SpanRecorder:
+    """Collects region spans from profiler begin/end marks."""
+
+    def __init__(self) -> None:
+        self.spans: list[Span] = []
+        self.instants: list[Instant] = []
+        #: rank -> (t0, node_index) of the currently open region.
+        self._open: dict[int, tuple[float, int]] = {}
+        #: rank -> name of the most recently completed function.
+        self._last_function: dict[int, str] = {}
+        self._by_rank_cache: dict[int, tuple[list[float], list[Span]]] | None = None
+
+    # -- recording ----------------------------------------------------------
+
+    def begin(self, rank: int, t: float, node_index: int = -1) -> None:
+        """Mark a region open on ``rank`` at time ``t``."""
+        if rank in self._open:
+            raise MeasurementError(f"rank {rank} already has an open span")
+        self._open[rank] = (t, node_index)
+
+    def end(self, rank: int, function: str, t: float) -> None:
+        """Close the open region of ``rank`` as one execution of ``function``."""
+        try:
+            t0, node_index = self._open.pop(rank)
+        except KeyError:
+            raise MeasurementError(f"rank {rank} has no open span") from None
+        if t < t0:
+            raise MeasurementError(
+                f"span end t={t!r} precedes its begin t={t0!r}"
+            )
+        self.spans.append(
+            Span(rank=rank, function=function, t0=t0, t1=t, node_index=node_index)
+        )
+        self._last_function[rank] = function
+        self._by_rank_cache = None
+
+    def instant(self, name: str, t: float) -> None:
+        """Record a run-lifecycle mark."""
+        self.instants.append(Instant(name=name, t=t))
+
+    # -- queries ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    def open_since(self, rank: int) -> float | None:
+        """Begin time of the rank's open region, if any."""
+        entry = self._open.get(rank)
+        return entry[0] if entry is not None else None
+
+    def last_function(self, rank: int) -> str | None:
+        """Name of the rank's most recently completed function."""
+        return self._last_function.get(rank)
+
+    def current_annotation(self, rank: int) -> str | None:
+        """Human annotation of what the rank is doing right now.
+
+        The profiler only learns a region's name when it closes, so an
+        open region is annotated with the previous function name plus an
+        ellipsis (the steady-state loop repeats the same sequence).
+        """
+        since = self.open_since(rank)
+        last = self.last_function(rank)
+        if since is not None:
+            return f"{last or '?'}…" if last else "…"
+        return last
+
+    def _by_rank(self, rank: int) -> tuple[list[float], list[Span]]:
+        if self._by_rank_cache is None:
+            self._by_rank_cache = {}
+        entry = self._by_rank_cache.get(rank)
+        if entry is None:
+            spans = sorted(
+                (s for s in self.spans if s.rank == rank), key=lambda s: s.t0
+            )
+            entry = ([s.t0 for s in spans], spans)
+            self._by_rank_cache[rank] = entry
+        return entry
+
+    def function_at(self, rank: int, t: float) -> str | None:
+        """The function ``rank`` was executing at time ``t`` (if any)."""
+        starts, spans = self._by_rank(rank)
+        idx = bisect.bisect_right(starts, t) - 1
+        if idx < 0:
+            return None
+        span = spans[idx]
+        return span.function if span.t0 <= t <= span.t1 else None
+
+    def events_sorted(self) -> list[Span]:
+        """All spans in canonical export order: ``(start, name, rank)``."""
+        return sorted(self.spans, key=lambda s: (s.t0, s.function, s.rank))
+
+    def functions(self) -> list[str]:
+        """Distinct function names, sorted."""
+        return sorted({s.function for s in self.spans})

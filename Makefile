@@ -1,7 +1,7 @@
 PYTHON ?= python
 PYTEST := PYTHONPATH=src $(PYTHON) -m pytest
 
-.PHONY: test bench bench-smoke bench-faults bench-timeseries
+.PHONY: test bench bench-smoke bench-campaign bench-faults bench-timeseries
 
 # Tier-1: the full unit/integration/property suite.
 test:
@@ -12,9 +12,18 @@ bench:
 	$(PYTEST) benchmarks -q
 
 # CI-sized benchmark subset: only the *smoke* variants, which finish in
-# seconds and still assert each benchmark's qualitative shape.
+# seconds and still assert each benchmark's qualitative shape.  A
+# collection guard in benchmarks/conftest.py fails this target if any
+# bench_*.py contributes zero smoke tests, so new benchmarks cannot
+# silently drop out of CI coverage.  Smoke results are committed under
+# benchmarks/results/*_smoke.txt and must regenerate byte-identically
+# (the CI determinism job diffs them).
 bench-smoke:
 	$(PYTEST) benchmarks -q -k smoke
+
+# Campaign engine smoke: cache-hit speedup and serial==sharded equality.
+bench-campaign:
+	$(PYTEST) benchmarks/bench_campaign.py -q
 
 # The full fault-injection ablation (both systems, every fault x target).
 bench-faults:

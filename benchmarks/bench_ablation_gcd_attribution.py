@@ -93,3 +93,21 @@ def bench_gcd_attribution_ablation(benchmark, results_dir):
         "inaccuracy Section 3.1 describes."
     )
     write_result(results_dir, "ablation_gcd_attribution", "\n".join(lines))
+
+
+def bench_smoke_gcd_attribution(results_dir):
+    balanced = _run_with_imbalance(0.0)
+    imbalanced = _run_with_imbalance(0.30)
+
+    # Even per-card split is (near) exact for balanced card-mates and
+    # degrades under imbalance.
+    assert balanced[0] < 0.02
+    assert imbalanced[1] > balanced[1]
+
+    lines = [
+        "Per-rank GPU energy attribution error smoke (LUMI-G)",
+        f"{'imbalance':>10} {'mean err':>9} {'max err':>9}",
+        f"{0.0:>10.2f} {balanced[0]:>9.2%} {balanced[1]:>9.2%}",
+        f"{0.30:>10.2f} {imbalanced[0]:>9.2%} {imbalanced[1]:>9.2%}",
+    ]
+    write_result(results_dir, "ablation_gcd_attribution_smoke", "\n".join(lines))

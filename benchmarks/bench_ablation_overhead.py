@@ -13,7 +13,7 @@ durations.
 from conftest import write_result
 
 from repro.config import CSCS_A100, SUBSONIC_TURBULENCE
-from repro.experiments.runner import functions_for, run_scaled_experiment
+from repro.experiments.runner import functions_for
 from repro.hardware.cluster import Cluster
 from repro.hardware.clock import VirtualClock
 from repro.instrumentation.profiler import EnergyProfiler
@@ -27,8 +27,7 @@ from repro.sph.scaled import ScaledSphApplication
 OVERHEADS_S = (0.0, 1e-4, 1e-3, 1e-2, 0.1, 1.0)
 NUM_STEPS = 20
 
-
-def _run_with_overhead(overhead_s: float) -> float:
+def _run_with_overhead(overhead_s: float, num_steps: int = NUM_STEPS) -> float:
     clock = VirtualClock()
     cluster = Cluster(
         "c", clock, CSCS_A100.node_spec, 2, CSCS_A100.network
@@ -48,12 +47,30 @@ def _run_with_overhead(overhead_s: float) -> float:
         profiler=profiler,
         perfmodel=perfmodel,
         functions=functions_for(SUBSONIC_TURBULENCE),
-        num_steps=NUM_STEPS,
+        num_steps=num_steps,
         test_case_name=SUBSONIC_TURBULENCE.name,
         instrumentation_overhead_s=overhead_s,
     )
     run = app.run()
     return run.app_seconds
+
+
+def bench_smoke_instrumentation_overhead(results_dir):
+    times = {w: _run_with_overhead(w, num_steps=6) for w in (0.0, 1e-3, 1.0)}
+    baseline = times[0.0]
+
+    # Realistic read costs are completely hidden; second-scale ones not.
+    assert times[1e-3] == baseline
+    assert times[1.0] / baseline > 1.01
+
+    lines = [
+        "Run dilation vs per-read instrumentation overhead smoke "
+        "(CSCS-A100, 6 steps)",
+        f"{'read cost [s]':>14} {'run time [s]':>13} {'dilation':>9}",
+    ]
+    for overhead, t in times.items():
+        lines.append(f"{overhead:>14.4f} {t:>13.1f} {t / baseline:>9.4f}")
+    write_result(results_dir, "ablation_overhead_smoke", "\n".join(lines))
 
 
 def _sweep():

@@ -31,10 +31,10 @@ def _build_sph_like_trace(seed: int = 7) -> PowerTrace:
     return trace
 
 
-def _sweep():
+def _sweep(periods=PERIODS_S, regions=REGION_SECONDS, n_starts=40):
     trace = _build_sph_like_trace()
     rows = {}
-    for period in PERIODS_S:
+    for period in periods:
         counter = SampledEnergyCounter(
             trace,
             refresh_period_s=period,
@@ -42,9 +42,9 @@ def _sweep():
             energy_quantum=1.0,
         )
         errors = {}
-        for region in REGION_SECONDS:
+        for region in regions:
             rel = []
-            for start in np.linspace(5.0, 500.0, 40):
+            for start in np.linspace(5.0, 500.0, n_starts):
                 measured = (
                     counter.read(start + region).joules
                     - counter.read(start).joules
@@ -84,3 +84,25 @@ def bench_sampling_rate_ablation(benchmark, results_dir):
         "second loop functions; sub-100 ms regions need faster sensors."
     )
     write_result(results_dir, "ablation_sampling_rate", "\n".join(lines))
+
+
+def bench_smoke_sampling_rate(results_dir):
+    periods = (1.0, 0.01)
+    regions = (0.05, 5.0)
+    rows = _sweep(periods=periods, regions=regions, n_starts=10)
+
+    # Faster sampling -> lower error for short regions; multi-second
+    # regions are well-resolved even at slow cadences.
+    assert rows[0.01][0.05] < rows[1.0][0.05]
+    assert rows[0.01][5.0] < 0.05
+
+    lines = [
+        "Median relative error of counter-based region energy (smoke)",
+        f"{'period [s]':>11} " + " ".join(f"{r:>9.2f}s" for r in regions),
+    ]
+    for period, errors in rows.items():
+        lines.append(
+            f"{period:>11.2f} "
+            + " ".join(f"{errors[r]:>10.2%}" for r in regions)
+        )
+    write_result(results_dir, "ablation_sampling_rate_smoke", "\n".join(lines))

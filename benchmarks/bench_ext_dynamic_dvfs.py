@@ -55,7 +55,8 @@ def bench_dynamic_dvfs(benchmark, results_dir):
     lines = ["Dynamic per-function DVFS on miniHPC (450^3, 100 steps)", ""]
 
     lines.append("min-EDP objective:")
-    lines.append(f"  policy: { {k: int(v) for k, v in sorted(unconstrained.policy.table.items())} }")
+    table = {k: int(v) for k, v in sorted(unconstrained.policy.table.items())}
+    lines.append(f"  policy: {table}")
     lines.append(
         f"  EDP vs 1410 MHz: {unconstrained.edp_vs_baseline:.3f}   "
         f"EDP vs best static ({unconstrained.best_static_mhz:.0f} MHz): "
@@ -68,7 +69,8 @@ def bench_dynamic_dvfs(benchmark, results_dir):
     dilation = constrained.dynamic_seconds / constrained.baseline_seconds
     lines.append("")
     lines.append("min-energy, <=3% slowdown budget (Pareto case):")
-    lines.append(f"  policy: { {k: int(v) for k, v in sorted(constrained.policy.table.items())} }")
+    table = {k: int(v) for k, v in sorted(constrained.policy.table.items())}
+    lines.append(f"  policy: {table}")
     lines.append(
         f"  time dilation: {dilation:.3f}   EDP vs 1410 MHz: "
         f"{constrained.edp_vs_baseline:.3f}   switches: "
@@ -81,3 +83,30 @@ def bench_dynamic_dvfs(benchmark, results_dir):
     assert constrained.policy.table["Density"] == 1005.0
 
     write_result(results_dir, "ext_dynamic_dvfs", "\n".join(lines))
+
+
+def bench_smoke_dynamic_dvfs(results_dir):
+    campaign = tune_per_function(
+        MINIHPC,
+        SUBSONIC_TURBULENCE,
+        num_cards=2,
+        freqs_mhz=(1410.0, 1230.0, 1005.0),
+        num_steps=20,
+        particles_per_rank=300.0**3,
+        objective="energy",
+        max_slowdown=1.03,
+    )
+
+    dilation = campaign.dynamic_seconds / campaign.baseline_seconds
+    assert dilation < 1.05
+    assert campaign.edp_vs_baseline < 1.0
+    # Compute-bound kernels keep the nominal clock.
+    assert campaign.policy.table["MomentumEnergy"] == 1410.0
+
+    lines = [
+        "Dynamic per-function DVFS smoke (miniHPC, 300^3, 20 steps)",
+        f"policy: { {k: int(v) for k, v in sorted(campaign.policy.table.items())} }",
+        f"time dilation: {dilation:.3f}   EDP vs 1410 MHz: "
+        f"{campaign.edp_vs_baseline:.3f}   switches: {campaign.switch_count}",
+    ]
+    write_result(results_dir, "ext_dynamic_dvfs_smoke", "\n".join(lines))

@@ -37,3 +37,15 @@ def bench_weak_scaling(benchmark, results_dir):
         blocks.append(f"--- {name} ---\n" + weak_scaling_table(points))
 
     write_result(results_dir, "ext_weak_scaling", "\n\n".join(blocks))
+
+
+def bench_smoke_weak_scaling(results_dir):
+    points = weak_scaling_series(CSCS_A100, (8, 16), num_steps=6)
+
+    times = [p.seconds_per_step for p in points]
+    assert times[-1] < 1.3 * times[0], "step time blew up"
+    # Communication share does not shrink with scale.
+    assert points[-1].domain_sync_share >= points[0].domain_sync_share - 0.01
+
+    text = "--- CSCS-A100 ---\n" + weak_scaling_table(points)
+    write_result(results_dir, "ext_weak_scaling_smoke", text)

@@ -17,6 +17,10 @@ from repro.experiments.validation import (
 #: Full paper fidelity: 100 time-steps per run.
 NUM_STEPS = 100
 
+#: Smoke variant: two scales, a handful of steps (CI, `make bench-smoke`).
+SMOKE_CARD_COUNTS = (8, 16)
+SMOKE_STEPS = 6
+
 
 def _run_both_systems():
     lumi = figure1_series(LUMI_G, FIGURE1_CARD_COUNTS, num_steps=NUM_STEPS)
@@ -47,3 +51,18 @@ def bench_figure1(benchmark, results_dir):
 
     text = "\n\n".join(figure1_table(series) for series in (lumi, cscs))
     write_result(results_dir, "fig1_pmt_vs_slurm", text)
+
+
+def bench_smoke_figure1(results_dir):
+    lumi = figure1_series(LUMI_G, SMOKE_CARD_COUNTS, num_steps=SMOKE_STEPS)
+    cscs = figure1_series(CSCS_A100, SMOKE_CARD_COUNTS, num_steps=SMOKE_STEPS)
+
+    for point in lumi + cscs:
+        assert point.pmt_joules < point.slurm_joules
+        assert point.ratio > 0.0
+    # LUMI-G underestimates more than CSCS-A100 at every scale.
+    for l, c in zip(lumi, cscs):
+        assert l.ratio < c.ratio
+
+    text = "\n\n".join(figure1_table(series) for series in (lumi, cscs))
+    write_result(results_dir, "fig1_pmt_vs_slurm_smoke", text)

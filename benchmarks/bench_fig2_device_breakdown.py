@@ -52,3 +52,25 @@ def bench_figure2(benchmark, results_dir):
                  "CSCS-A100-Turb 12.5, CSCS-A100-Evr 10.7")
     lines.append("Paper GPU shares: 74.3% (LUMI-G), 76.4% (CSCS-A100)")
     write_result(results_dir, "fig2_device_breakdown", "\n".join(lines))
+
+
+def bench_smoke_figure2(results_dir):
+    cells = figure2_breakdowns(num_cards=8, num_steps=6)
+
+    lines = [
+        f"{'Run':>14} {'Total [MJ]':>11} {'GPU':>7} {'CPU':>7} "
+        f"{'Memory':>7} {'Other':>7}"
+    ]
+    for cell in cells:
+        shares = cell.devices.shares
+        ordered = sorted(shares, key=shares.get, reverse=True)
+        assert ordered[0] == "GPU", f"{cell.label}: GPU must dominate"
+        assert ("Memory" in shares) == cell.label.startswith("LUMI")
+        lines.append(
+            f"{cell.label:>14} "
+            f"{joules_to_megajoules(cell.devices.total_joules):>11.3f} "
+            f"{shares['GPU']:>6.1%} {shares['CPU']:>6.1%} "
+            f"{shares.get('Memory', 0.0):>6.1%} {shares['Other']:>6.1%}"
+        )
+
+    write_result(results_dir, "fig2_device_breakdown_smoke", "\n".join(lines))

@@ -67,3 +67,28 @@ def bench_figure3(benchmark, results_dir):
     )
     lines.append("Paper: LUMI-G 45.80% (11.2 MJ), CSCS-A100 25.29% (3.1 MJ)")
     write_result(results_dir, "fig3_function_breakdown", "\n".join(lines))
+
+
+def bench_smoke_figure3(results_dir):
+    cells = figure3_breakdowns(num_cards=8, num_steps=6)
+    by_label = {cell.label: cell for cell in cells}
+
+    lines = []
+    for cell in cells:
+        assert cell.gpu_functions[0].function == "MomentumEnergy"
+        total_gpu = sum(r.joules for r in cell.gpu_functions)
+        top = cell.gpu_functions[0]
+        lines.append(
+            f"{cell.label:>14}: top GPU function {top.function} "
+            f"{top.joules / total_gpu:.2%} of GPU energy"
+        )
+
+    def me_share(cell):
+        total = sum(r.joules for r in cell.gpu_functions)
+        me = next(r for r in cell.gpu_functions if r.function == "MomentumEnergy")
+        return me.joules / total
+
+    # The headline contrast survives at reduced scale.
+    assert me_share(by_label["LUMI-Turb"]) > me_share(by_label["CSCS-A100-Turb"])
+
+    write_result(results_dir, "fig3_function_breakdown_smoke", "\n".join(lines))

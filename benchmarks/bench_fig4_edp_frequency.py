@@ -40,3 +40,31 @@ def bench_figure4(benchmark, results_dir):
     assert series[200][1005.0] == min(s[1005.0] for s in series.values())
 
     write_result(results_dir, "fig4_edp_frequency", "\n".join(lines))
+
+
+SMOKE_SIDES = (200, 300)
+SMOKE_FREQS = (1410.0, 1230.0, 1005.0)
+
+
+def bench_smoke_figure4(results_dir):
+    series = figure4_series(
+        cube_sides=SMOKE_SIDES, freqs_mhz=SMOKE_FREQS, num_steps=6
+    )
+
+    freqs = sorted(SMOKE_FREQS, reverse=True)
+    lines = [
+        "Normalized EDP (baseline 1410 MHz), smoke sweep on miniHPC",
+        "side^3/GPU " + " ".join(f"{f:>7.0f}" for f in freqs),
+    ]
+    for side in SMOKE_SIDES:
+        norm = series[side]
+        lines.append(
+            f"{side:>7}^3  " + " ".join(f"{norm[f]:>7.3f}" for f in freqs)
+        )
+        assert norm[1410.0] == 1.0
+        assert norm[1005.0] < 1.0, f"{side}^3 EDP should drop at 1005 MHz"
+
+    # The under-utilized 200^3 case still drops the most.
+    assert series[200][1005.0] < series[300][1005.0]
+
+    write_result(results_dir, "fig4_edp_frequency_smoke", "\n".join(lines))

@@ -26,3 +26,12 @@ def bench_table1(benchmark, results_dir):
     ):
         assert needle in text, f"Table 1 row missing: {needle}"
     write_result(results_dir, "table1_config", text)
+
+
+def bench_smoke_table1(results_dir):
+    # Table 1 is generated from static config; the smoke run is the full
+    # table, re-checked against the load-bearing rows.
+    text = table1_text()
+    for needle in ("LUMI-G", "CSCS-A100", "miniHPC", "1410 MHz"):
+        assert needle in text, f"Table 1 row missing: {needle}"
+    write_result(results_dir, "table1_config_smoke", text)

@@ -4,6 +4,12 @@ Every benchmark regenerates one table or figure of the paper, asserts its
 qualitative shape, and writes the reproduced rows/series to
 ``benchmarks/results/<name>.txt`` so the output survives pytest's stdout
 capture.
+
+Benchmarks that end in ``_smoke.txt`` results come from the ``smoke``
+variants: reduced-size versions of each benchmark that finish in seconds,
+run in CI on every push (``make bench-smoke``), and are committed so the
+determinism gate can diff freshly regenerated output against the
+repository copy.
 """
 
 from __future__ import annotations
@@ -13,6 +19,33 @@ from pathlib import Path
 import pytest
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.hookimpl(tryfirst=True)
+def pytest_collection_modifyitems(config, items):
+    """Fail collection when a benchmark file contributes no smoke test.
+
+    ``make bench-smoke`` runs ``-k smoke`` over all of ``benchmarks/``;
+    a ``bench_*.py`` without a smoke variant would silently drop out of
+    CI coverage.  This guard runs *before* ``-k`` deselection (hence
+    ``tryfirst``), so it sees every collected benchmark and fails the
+    run — loudly — instead.
+    """
+    missing = {}
+    for item in items:
+        path = Path(str(item.fspath))
+        if path.parent != Path(__file__).parent:
+            continue
+        if not path.name.startswith("bench_"):
+            continue
+        has_smoke = missing.setdefault(path.name, False)
+        missing[path.name] = has_smoke or "smoke" in item.name
+    offenders = sorted(name for name, ok in missing.items() if not ok)
+    if offenders:
+        raise pytest.UsageError(
+            "benchmark files without a smoke test (they would be silently "
+            "skipped by `make bench-smoke`): " + ", ".join(offenders)
+        )
 
 
 @pytest.fixture(scope="session")

@@ -8,8 +8,6 @@ validation and EDP curves (Figures 1/4/5).
 
 from __future__ import annotations
 
-import math
-
 from repro.errors import AnalysisError
 
 #: Characters used to distinguish overlapping series in line charts.
@@ -17,7 +15,6 @@ SERIES_MARKS = "ox+*#@%&"
 
 #: Eight-level block ramp for sparklines (low to high).
 SPARK_LEVELS = "▁▂▃▄▅▆▇█"
-
 
 def sparkline(
     values: list[float],

@@ -8,10 +8,8 @@ function (Figure 5).
 from __future__ import annotations
 
 from repro.analysis.aggregate import function_seconds, function_totals
-from repro.analysis.breakdown import device_breakdown
 from repro.errors import AnalysisError
 from repro.instrumentation.records import RunMeasurements
-
 
 def edp(joules: float, seconds: float) -> float:
     """The energy-delay product."""

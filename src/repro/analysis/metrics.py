@@ -48,7 +48,9 @@ class EfficiencyMetrics:
         return self.energy_joules / self.seconds
 
 
-def run_metrics(run: RunMeasurements, counters: tuple[str, ...] = ("gpu", "cpu", "memory")) -> EfficiencyMetrics:
+def run_metrics(
+    run: RunMeasurements, counters: tuple[str, ...] = ("gpu", "cpu", "memory")
+) -> EfficiencyMetrics:
     """Metrics from the PMT-measured device energies of a run."""
     total = 0.0
     for counter in counters:

@@ -1,0 +1,133 @@
+"""Campaign execution: cache lookup, worker shards, result collection.
+
+:func:`execute` is the one substrate every sweep in the repo runs on.
+It partitions the expanded keys into cache hits and misses, executes the
+misses — serially for ``workers=1`` (the degenerate case, retained as
+the reference path), or across ``multiprocessing`` shards otherwise —
+and archives each completed run before moving on, so a killed sweep
+resumes from the completed subset.
+
+Sharding cannot change results: every run is an independent simulation
+driven by its own :class:`~repro.hardware.clock.VirtualClock` and seeded
+entirely from its :class:`~repro.campaign.keys.RunKey` (never from
+worker identity or execution order), so the sharded sweep is
+bit-identical to the serial one by construction.  The property tests and
+the campaign smoke benchmark enforce this.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.campaign.keys import RunKey, resolve_test_case
+from repro.campaign.store import AccountingSummary, CampaignResult, ResultStore
+from repro.config import get_system
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class CampaignStats:
+    """What one :func:`execute` call did."""
+
+    total: int = 0
+    hits: int = 0
+    misses: int = 0
+    #: Simulation steps actually executed (0 on a fully-cached re-run).
+    executed_steps: int = 0
+    workers: int = 1
+
+    @property
+    def done(self) -> int:
+        return self.hits + self.misses
+
+
+#: Progress callback: called after every completed point with the stats
+#: so far (``stats.done`` of ``stats.total``) and the key just finished.
+ProgressFn = Callable[[CampaignStats, RunKey], None]
+
+
+def execute_key(key: RunKey) -> CampaignResult:
+    """Run one campaign point and package the serializable outcome.
+
+    The run is seeded from the key alone; frequency requests use
+    privileged DVFS so campaigns can sweep clocks on any system (the
+    user-facing ``fig4``/``fig5`` defaults still target miniHPC, the one
+    system whose clocks are user controllable).
+    """
+    from repro.experiments.runner import run_scaled_experiment
+
+    result = run_scaled_experiment(
+        get_system(key.system),
+        resolve_test_case(key.test_case),
+        key.num_cards,
+        gpu_freq_mhz=key.gpu_freq_mhz,
+        num_steps=key.num_steps,
+        particles_per_rank=key.particles_per_rank,
+        seed=key.seed,
+        privileged_dvfs=True,
+    )
+    return CampaignResult(
+        key=key,
+        run=result.run,
+        accounting=AccountingSummary.from_accounting(result.accounting),
+    )
+
+
+def _worker(key: RunKey) -> tuple[RunKey, CampaignResult]:
+    return key, execute_key(key)
+
+
+def execute(
+    keys: tuple[RunKey, ...],
+    store: ResultStore | None = None,
+    workers: int = 1,
+    progress: ProgressFn | None = None,
+) -> tuple[dict[RunKey, CampaignResult], CampaignStats]:
+    """Execute a campaign's keys, reusing every cached result.
+
+    Returns the per-key results and the execution stats.  With a
+    ``store``, every fresh run is archived the moment it completes.
+    ``workers`` > 1 fans the cache misses out over that many OS
+    processes; results are collected in completion order but keyed by
+    :class:`RunKey`, so downstream merges are order-independent.
+    """
+    if workers < 1:
+        raise ConfigurationError("workers must be >= 1")
+    if len(set(keys)) != len(keys):
+        raise ConfigurationError("duplicate run keys in campaign")
+
+    stats = CampaignStats(total=len(keys), workers=workers)
+    results: dict[RunKey, CampaignResult] = {}
+
+    misses = []
+    for key in keys:
+        cached = store.get(key) if store is not None else None
+        if cached is not None:
+            results[key] = cached
+            stats.hits += 1
+            if progress is not None:
+                progress(stats, key)
+        else:
+            misses.append(key)
+
+    def _collect(key: RunKey, result: CampaignResult) -> None:
+        results[key] = result
+        stats.misses += 1
+        stats.executed_steps += result.run.num_steps
+        if store is not None:
+            store.put(key, result)
+        if progress is not None:
+            progress(stats, key)
+
+    if workers == 1 or len(misses) <= 1:
+        for key in misses:
+            _collect(key, execute_key(key))
+    else:
+        ctx = multiprocessing.get_context()
+        with ctx.Pool(processes=min(workers, len(misses))) as pool:
+            for key, result in pool.imap_unordered(_worker, misses):
+                _collect(key, result)
+
+    return results, stats

@@ -1,0 +1,133 @@
+"""Run identity and content-addressed cache keys.
+
+A :class:`RunKey` names one independent instrumented run of a campaign:
+the (system, test case, card count, GPU frequency, problem size, step
+count, seed) tuple that fully determines the run's measurements — the
+simulated cluster is deterministic, so two runs with equal keys produce
+bit-identical results.
+
+The cache address of a key is :func:`run_key_hash`: a SHA-256 over a
+canonical JSON payload containing the key fields *and the full content*
+of the referenced system and test-case configurations (power-model
+coefficients, network latencies, Slurm timing, sensor backends, ...),
+plus a code-version tag.  Hashing configuration *content* rather than
+names means editing any physics- or measurement-relevant constant in
+:mod:`repro.config` invalidates exactly the affected cache entries,
+while purely cosmetic execution settings (cache directory, worker count,
+output paths) never enter the payload and therefore never invalidate
+anything.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass
+
+from repro.config import (
+    OBSERVABILITY_CASES,
+    SystemConfig,
+    TestCaseConfig,
+    get_system,
+)
+from repro.errors import ConfigurationError
+
+#: Layout version of the cache entry files.  Bump on incompatible
+#: serialization changes; old entries then read as misses.
+CACHE_SCHEMA_VERSION = 1
+
+#: Version tag of the measurement/physics code paths.  Bump whenever a
+#: change alters what a run *measures* (solver numerics, power models,
+#: sensor semantics, profiler attribution) without any config field
+#: changing — every cached result is then invalidated at once.
+CODE_VERSION = "1"
+
+
+@dataclass(frozen=True)
+class RunKey:
+    """Identity of one independent campaign run."""
+
+    system: str
+    test_case: str
+    num_cards: int
+    #: Requested compute clock; ``None`` runs at the system default.
+    gpu_freq_mhz: float | None
+    num_steps: int
+    particles_per_rank: float
+    seed: int
+
+    def __post_init__(self) -> None:
+        if self.num_cards <= 0:
+            raise ConfigurationError("num_cards must be positive")
+        if self.num_steps <= 0:
+            raise ConfigurationError("num_steps must be positive")
+        if self.particles_per_rank <= 0:
+            raise ConfigurationError("particles_per_rank must be positive")
+
+    @property
+    def label(self) -> str:
+        """Compact human-readable identity for progress and summaries."""
+        freq = "default" if self.gpu_freq_mhz is None else f"{self.gpu_freq_mhz:.0f}MHz"
+        return (
+            f"{self.system}/{self.test_case}/{self.num_cards}c/{freq}/"
+            f"{self.particles_per_rank:.0f}ppr/{self.num_steps}s/seed{self.seed}"
+        )
+
+
+def sort_key(key: RunKey) -> tuple:
+    """Deterministic total order over run keys (``None`` frequency first)."""
+    return (
+        key.system,
+        key.test_case,
+        key.num_cards,
+        key.gpu_freq_mhz is not None,
+        key.gpu_freq_mhz or 0.0,
+        key.particles_per_rank,
+        key.num_steps,
+        key.seed,
+    )
+
+
+def resolve_test_case(name: str) -> TestCaseConfig:
+    """Look up a test case by name (paper cases plus observability demos)."""
+    try:
+        return OBSERVABILITY_CASES[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown test case {name!r}; available: {sorted(OBSERVABILITY_CASES)}"
+        ) from None
+
+
+def canonical_payload(
+    key: RunKey,
+    system: SystemConfig | None = None,
+    test_case: TestCaseConfig | None = None,
+) -> dict:
+    """The exact content the cache address commits to.
+
+    ``system`` / ``test_case`` default to the registry entries named by
+    the key; passing explicit configs lets callers (and the invalidation
+    tests) hash hypothetical configurations.
+    """
+    system = system if system is not None else get_system(key.system)
+    test_case = (
+        test_case if test_case is not None else resolve_test_case(key.test_case)
+    )
+    return {
+        "schema": CACHE_SCHEMA_VERSION,
+        "code_version": CODE_VERSION,
+        "key": asdict(key),
+        "system": asdict(system),
+        "test_case": asdict(test_case),
+    }
+
+
+def run_key_hash(
+    key: RunKey,
+    system: SystemConfig | None = None,
+    test_case: TestCaseConfig | None = None,
+) -> str:
+    """Content address of a run: SHA-256 of the canonical payload."""
+    payload = canonical_payload(key, system=system, test_case=test_case)
+    text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode()).hexdigest()

@@ -1,0 +1,187 @@
+"""On-disk content-addressed store of campaign run results.
+
+One completed run is one JSON file at ``<root>/<hh>/<hash>.json`` where
+``hash = run_key_hash(key)`` — the address commits to the full run
+identity *and* the content of the configurations it referenced, so a
+physics- or measurement-relevant config edit reads as a cache miss while
+cosmetic execution settings cannot perturb the address at all.
+
+Writes are atomic (temp file + ``os.replace`` in the same directory), so
+a campaign killed mid-sweep leaves either complete entries or nothing:
+re-running the same spec resumes from the completed subset.  Corrupt or
+foreign files are treated as misses, never as errors.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+from repro.campaign.keys import CACHE_SCHEMA_VERSION, RunKey, run_key_hash
+from repro.instrumentation.records import RunMeasurements
+from repro.slurm.job import JobAccounting
+
+
+@dataclass(frozen=True)
+class AccountingSummary:
+    """The serializable subset of :class:`~repro.slurm.job.JobAccounting`.
+
+    Everything ``sacct`` reports except the in-memory ``app_result``
+    back-reference and the process-global ``job_id`` (normalized to 0 so
+    serial and sharded executions serialize identically).
+    """
+
+    name: str
+    num_nodes: int
+    num_ranks: int
+    submit_time: float
+    start_time: float
+    app_start_time: float
+    app_end_time: float
+    end_time: float
+    consumed_energy_joules: float
+    per_node_joules: tuple[float, ...]
+
+    @classmethod
+    def from_accounting(cls, acct: JobAccounting) -> "AccountingSummary":
+        return cls(
+            name=acct.name,
+            num_nodes=acct.num_nodes,
+            num_ranks=acct.num_ranks,
+            submit_time=acct.submit_time,
+            start_time=acct.start_time,
+            app_start_time=acct.app_start_time,
+            app_end_time=acct.app_end_time,
+            end_time=acct.end_time,
+            consumed_energy_joules=acct.consumed_energy_joules,
+            per_node_joules=tuple(acct.per_node_joules),
+        )
+
+    def to_accounting(self, run: RunMeasurements | None = None) -> JobAccounting:
+        """Rebuild a :class:`JobAccounting` view (``job_id`` is always 0)."""
+        return JobAccounting(
+            job_id=0,
+            name=self.name,
+            num_nodes=self.num_nodes,
+            num_ranks=self.num_ranks,
+            submit_time=self.submit_time,
+            start_time=self.start_time,
+            app_start_time=self.app_start_time,
+            app_end_time=self.app_end_time,
+            end_time=self.end_time,
+            consumed_energy_joules=self.consumed_energy_joules,
+            per_node_joules=list(self.per_node_joules),
+            app_result=run,
+        )
+
+
+@dataclass(frozen=True)
+class CampaignResult:
+    """One run's archived outcome: measurements plus accounting."""
+
+    key: RunKey
+    run: RunMeasurements
+    accounting: AccountingSummary
+
+
+def _serialize(key: RunKey, result: CampaignResult, digest: str) -> str:
+    payload = {
+        "schema": CACHE_SCHEMA_VERSION,
+        "hash": digest,
+        "key": asdict(key),
+        "run": json.loads(result.run.to_json()),
+        "accounting": asdict(result.accounting),
+    }
+    return json.dumps(payload, sort_keys=True, indent=1)
+
+
+def _deserialize(text: str) -> CampaignResult:
+    payload = json.loads(text)
+    if payload.get("schema") != CACHE_SCHEMA_VERSION:
+        raise ValueError(f"cache schema {payload.get('schema')!r}")
+    acct = payload["accounting"]
+    acct["per_node_joules"] = tuple(acct["per_node_joules"])
+    return CampaignResult(
+        key=RunKey(**payload["key"]),
+        run=RunMeasurements.from_json(json.dumps(payload["run"])),
+        accounting=AccountingSummary(**acct),
+    )
+
+
+class ResultStore:
+    """Content-addressed result cache rooted at one directory."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+
+    def path_for(self, key: RunKey) -> Path:
+        digest = run_key_hash(key)
+        return self.root / digest[:2] / f"{digest}.json"
+
+    def contains(self, key: RunKey) -> bool:
+        return self.path_for(key).is_file()
+
+    def get(self, key: RunKey) -> CampaignResult | None:
+        """The cached result of ``key``, or ``None`` on any kind of miss."""
+        path = self.path_for(key)
+        try:
+            text = path.read_text()
+        except OSError:
+            return None
+        try:
+            result = _deserialize(text)
+        except (ValueError, KeyError, TypeError):
+            return None  # corrupt/foreign entry: treat as a miss
+        if result.key != key:
+            return None  # hash collision or tampered entry
+        return result
+
+    def put(self, key: RunKey, result: CampaignResult) -> Path:
+        """Atomically archive one completed run."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        digest = path.stem
+        tmp = path.with_name(f".{path.name}.tmp{os.getpid()}")
+        tmp.write_text(_serialize(key, result, digest))
+        os.replace(tmp, path)
+        return path
+
+    # -- maintenance --------------------------------------------------------
+
+    def entries(self) -> list[Path]:
+        """Every complete cache entry under the root."""
+        if not self.root.is_dir():
+            return []
+        return sorted(self.root.glob("??/*.json"))
+
+    def stats(self) -> dict[str, int]:
+        entries = self.entries()
+        return {
+            "entries": len(entries),
+            "bytes": sum(p.stat().st_size for p in entries),
+        }
+
+    def clean(self, keys: tuple[RunKey, ...] | None = None) -> int:
+        """Remove entries (all of them, or just those of ``keys``).
+
+        Returns the number of entries removed; empty shard directories
+        are pruned.
+        """
+        removed = 0
+        targets = (
+            self.entries()
+            if keys is None
+            else [self.path_for(k) for k in keys]
+        )
+        for path in targets:
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                continue
+            parent = path.parent
+            if parent != self.root and not any(parent.iterdir()):
+                parent.rmdir()
+        return removed

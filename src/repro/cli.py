@@ -12,6 +12,9 @@ Every paper artifact is reachable from the shell:
 * ``export-trace`` — run a case and export Chrome-trace/Prometheus/CSV
   observability artifacts;
 * ``watch`` — live per-node power sparklines while a run executes;
+* ``campaign`` — sharded sweep execution (``run``/``status``/``clean``)
+  with a content-addressed result cache, so repeated sweeps only pay for
+  cache misses;
 * ``tune`` — the dynamic per-function DVFS extension;
 * ``backends`` — the registered PMT backends.
 
@@ -25,12 +28,15 @@ import argparse
 import sys
 from typing import Sequence
 
-from repro.analysis.breakdown import device_breakdown
-from repro.analysis.edp import normalized_edp_series
 from repro.analysis.validation import validate_pmt_against_slurm
-from repro.config import OBSERVABILITY_CASES, SYSTEMS, TEST_CASES, get_system
+from repro.config import (
+    DEFAULT_CAMPAIGN,
+    OBSERVABILITY_CASES,
+    SYSTEMS,
+    TEST_CASES,
+    get_system,
+)
 from repro.errors import ReproError
-
 
 def _add_steps(parser: argparse.ArgumentParser, default: int = 100) -> None:
     parser.add_argument(
@@ -305,6 +311,151 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _campaign_spec(args: argparse.Namespace):
+    """Build the declarative spec of the selected named sweep."""
+    from repro.experiments.frequency import figure4_spec, figure5_spec
+    from repro.experiments.scaling import weak_scaling_spec
+    from repro.experiments.validation import figure1_spec
+
+    if args.sweep == "fig4":
+        return figure4_spec(
+            cube_sides=tuple(args.sides),
+            freqs_mhz=tuple(float(f) for f in args.freqs),
+            num_steps=args.steps,
+            seed=args.seed,
+        )
+    if args.sweep == "fig5":
+        return figure5_spec(
+            freqs_mhz=tuple(float(f) for f in args.freqs),
+            cube_side=args.side,
+            num_steps=args.steps,
+            seed=args.seed,
+        )
+    if args.sweep == "fig1":
+        return figure1_spec(
+            get_system(args.system),
+            tuple(args.cards),
+            num_steps=args.steps,
+            seed=args.seed,
+        )
+    # weak-scaling
+    return weak_scaling_spec(
+        get_system(args.system),
+        tuple(args.cards),
+        num_steps=args.steps if args.steps is not None else 100,
+        seed=args.seed,
+    )
+
+
+def _campaign_store(args: argparse.Namespace):
+    from repro.campaign import ResultStore
+
+    if getattr(args, "no_cache", False):
+        return None
+    return ResultStore(args.cache_dir)
+
+
+def _progress_printer(total: int):
+    """A one-line ``\\r``-rewriting progress callback for the terminal."""
+
+    def progress(stats, key) -> None:
+        line = (
+            f"\r[{stats.done}/{total}] "
+            f"{stats.hits} cached, {stats.misses} executed  {key.label}"
+        )
+        print(f"{line[:117]:<117}", end="", flush=True)
+        if stats.done == total:
+            print(flush=True)
+
+    return progress
+
+
+def _render_fig4(series: dict[int, dict[float, float]], freqs) -> str:
+    ordered = sorted(freqs, reverse=True)
+    lines = ["side^3  " + " ".join(f"{f:>7.0f}" for f in ordered)]
+    for side, norm in series.items():
+        lines.append(
+            f"{side:>5}^3 " + " ".join(f"{norm[f]:>7.3f}" for f in ordered)
+        )
+    return "\n".join(lines)
+
+
+def _render_fig5(series: dict[str, dict[float, float]], freqs) -> str:
+    ordered = sorted(freqs, reverse=True)
+    lines = [f"{'Function':>24} " + " ".join(f"{f:>7.0f}" for f in ordered)]
+    for fn, norm in series.items():
+        lines.append(f"{fn:>24} " + " ".join(f"{norm[f]:>7.3f}" for f in ordered))
+    return "\n".join(lines)
+
+
+def _cmd_campaign_run(args: argparse.Namespace) -> int:
+    from repro.campaign import campaign_summary, execute, expand
+    from repro.campaign.merge import (
+        merge_figure1,
+        merge_figure4,
+        merge_figure5,
+        merge_weak_scaling,
+    )
+    from repro.experiments.frequency import BASELINE_MHZ
+    from repro.experiments.scaling import weak_scaling_table
+    from repro.experiments.validation import figure1_table
+
+    spec = _campaign_spec(args)
+    keys = expand(spec)
+    progress = None if args.quiet else _progress_printer(len(keys))
+    results, stats = execute(
+        keys,
+        store=_campaign_store(args),
+        workers=args.workers,
+        progress=progress,
+    )
+    if args.sweep == "fig4":
+        print(_render_fig4(merge_figure4(results, BASELINE_MHZ), spec.freqs_mhz))
+    elif args.sweep == "fig5":
+        print(_render_fig5(merge_figure5(results, BASELINE_MHZ), spec.freqs_mhz))
+    elif args.sweep == "fig1":
+        print(figure1_table(merge_figure1(results)))
+    else:
+        print(weak_scaling_table(merge_weak_scaling(results)))
+    print()
+    print(campaign_summary(spec.name, stats, results))
+    return 0
+
+
+def _cmd_campaign_status(args: argparse.Namespace) -> int:
+    from repro.campaign import ResultStore, expand
+
+    spec = _campaign_spec(args)
+    keys = expand(spec)
+    store = ResultStore(args.cache_dir)
+    cached = sum(1 for key in keys if store.contains(key))
+    print(
+        f"Campaign {spec.name!r}: {len(keys)} points, {cached} cached, "
+        f"{len(keys) - cached} to run (cache: {args.cache_dir})"
+    )
+    stats = store.stats()
+    print(
+        f"Store: {stats['entries']} entries, {stats['bytes'] / 1024:.0f} KiB"
+    )
+    return 0
+
+
+def _cmd_campaign_clean(args: argparse.Namespace) -> int:
+    from repro.campaign import ResultStore, expand
+
+    store = ResultStore(args.cache_dir)
+    if args.sweep is None:
+        removed = store.clean()
+        print(f"removed {removed} cache entries from {args.cache_dir}")
+    else:
+        removed = store.clean(expand(_campaign_spec(args)))
+        print(
+            f"removed {removed} {args.sweep!r} cache entries "
+            f"from {args.cache_dir}"
+        )
+    return 0
+
+
 def _cmd_tune(args: argparse.Namespace) -> int:
     from repro.config import MINIHPC, SUBSONIC_TURBULENCE
     from repro.tuning import tune_per_function
@@ -469,6 +620,77 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--counter", default="gpu", choices=["gpu", "cpu", "node"])
     _add_steps(p)
     p.set_defaults(func=_cmd_compare)
+
+    p = sub.add_parser(
+        "campaign",
+        help="sharded sweep execution with a content-addressed result cache",
+    )
+    action = p.add_subparsers(dest="action", required=True)
+
+    def _add_campaign_options(cp, with_sweep: bool = True) -> None:
+        if with_sweep:
+            cp.add_argument(
+                "sweep",
+                choices=["fig1", "fig4", "fig5", "weak-scaling"],
+                help="the named sweep to operate on",
+            )
+        cp.add_argument(
+            "--cache-dir",
+            default=DEFAULT_CAMPAIGN.cache_dir,
+            help=f"result cache root (default: {DEFAULT_CAMPAIGN.cache_dir})",
+        )
+        cp.add_argument("--seed", type=int, default=0)
+        cp.add_argument(
+            "--steps",
+            type=int,
+            default=None,
+            help="time-steps per run (default: the case's paper value)",
+        )
+        # Sweep-axis options (each sweep reads the ones it understands).
+        cp.add_argument("--sides", nargs="+", type=int, default=[200, 300, 450])
+        cp.add_argument("--freqs", nargs="+", default=[1410, 1230, 1005])
+        cp.add_argument("--side", type=int, default=450)
+        cp.add_argument(
+            "--system", default="CSCS-A100", choices=sorted(SYSTEMS)
+        )
+        cp.add_argument(
+            "--cards", nargs="+", type=int, default=[8, 16, 24, 32, 40, 48]
+        )
+
+    cp = action.add_parser("run", help="execute a sweep (cache misses only)")
+    _add_campaign_options(cp)
+    cp.add_argument(
+        "--workers",
+        type=int,
+        default=DEFAULT_CAMPAIGN.workers,
+        help="worker shards for cache misses (default: serial)",
+    )
+    cp.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="execute every point without reading or writing the cache",
+    )
+    cp.add_argument(
+        "--quiet", action="store_true", help="suppress the progress line"
+    )
+    cp.set_defaults(func=_cmd_campaign_run)
+
+    cp = action.add_parser(
+        "status", help="cached/missing point counts of a sweep"
+    )
+    _add_campaign_options(cp)
+    cp.set_defaults(func=_cmd_campaign_status)
+
+    cp = action.add_parser("clean", help="drop cache entries")
+    cp.add_argument(
+        "sweep",
+        nargs="?",
+        default=None,
+        choices=["fig1", "fig4", "fig5", "weak-scaling"],
+        help="only this sweep's entries (default: the whole cache)",
+    )
+    _add_campaign_options(cp, with_sweep=False)
+    cp.set_defaults(func=_cmd_campaign_clean)
 
     p = sub.add_parser("tune", help="dynamic per-function DVFS (extension)")
     p.add_argument("--freqs", nargs="+", default=[1410, 1230, 1005])

@@ -22,7 +22,7 @@ structure of the model rather than the exact coefficients.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import ConfigurationError
 from repro.hardware.cluster import NetworkModel
@@ -191,7 +191,6 @@ EDR_NIC = NicSpec(
 # ---------------------------------------------------------------------------
 # System configurations
 # ---------------------------------------------------------------------------
-
 
 @dataclass(frozen=True)
 class SlurmTimingModel:
@@ -419,3 +418,51 @@ OBSERVABILITY_CASES: dict[str, TestCaseConfig] = {
     **TEST_CASES,
     SEDOV_BLAST.name: SEDOV_BLAST,
 }
+
+
+# ---------------------------------------------------------------------------
+# Campaign execution settings
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CampaignSettings:
+    """Execution defaults of the campaign engine (``repro campaign``).
+
+    These are deliberately *cosmetic* with respect to results: none of
+    them enters the content-addressed run identity, so changing the
+    cache location or the worker count can never invalidate (or corrupt)
+    a cached result.  Environment overrides: ``REPRO_CACHE_DIR`` and
+    ``REPRO_CAMPAIGN_WORKERS``.
+    """
+
+    #: Root directory of the content-addressed result cache.
+    cache_dir: str = ".repro-cache"
+    #: Worker shards executing cache misses; 1 is the serial reference
+    #: path (bit-identical to any sharded execution by construction).
+    workers: int = 1
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ConfigurationError("campaign workers must be >= 1")
+        if not self.cache_dir:
+            raise ConfigurationError("campaign cache_dir must be non-empty")
+
+    @classmethod
+    def from_env(cls) -> "CampaignSettings":
+        """Settings with environment overrides applied."""
+        import os
+
+        cache_dir = os.environ.get("REPRO_CACHE_DIR", cls.cache_dir)
+        workers_text = os.environ.get("REPRO_CAMPAIGN_WORKERS", "")
+        try:
+            workers = int(workers_text) if workers_text else cls.workers
+        except ValueError:
+            raise ConfigurationError(
+                f"REPRO_CAMPAIGN_WORKERS={workers_text!r} is not an integer"
+            ) from None
+        return cls(cache_dir=cache_dir, workers=workers)
+
+
+#: Built-in campaign defaults (no environment applied).
+DEFAULT_CAMPAIGN = CampaignSettings()

@@ -6,6 +6,10 @@ scaling study cares about: time per step, energy per card, and the
 communication share of DomainDecompAndSync — quantifying how close the
 simulated runs are to ideal weak scaling and where the deviation comes
 from (the log p collectives and growing halo surfaces).
+
+The sweep itself runs on the campaign engine: each card count is one
+independent run key, executed serially or across worker shards and
+cached content-addressed, then merged back in card-count order.
 """
 
 from __future__ import annotations
@@ -14,8 +18,12 @@ from dataclasses import dataclass
 
 from repro.analysis.aggregate import function_seconds
 from repro.analysis.breakdown import device_breakdown
+from repro.campaign.executor import ProgressFn, execute
+from repro.campaign.merge import merge_weak_scaling
+from repro.campaign.spec import CampaignSpec, expand
+from repro.campaign.store import ResultStore
 from repro.config import SUBSONIC_TURBULENCE, SystemConfig, TestCaseConfig
-from repro.experiments.runner import run_scaled_experiment
+from repro.instrumentation.records import RunMeasurements
 
 
 @dataclass(frozen=True)
@@ -34,35 +42,58 @@ class WeakScalingPoint:
         return f"{self.num_cards} cards / {self.num_ranks} ranks"
 
 
+def scaling_point(run: RunMeasurements, num_cards: int) -> WeakScalingPoint:
+    """Extract one card count's scaling quantities from its measurements."""
+    total = device_breakdown(run).total_joules
+    seconds = function_seconds(run)
+    step_time = run.app_seconds / run.num_steps
+    domain_share = seconds["DomainDecompAndSync"] / sum(seconds.values())
+    return WeakScalingPoint(
+        num_cards=num_cards,
+        num_ranks=run.num_ranks,
+        seconds_per_step=step_time,
+        joules_per_card=total / num_cards,
+        total_joules=total,
+        domain_sync_share=domain_share,
+    )
+
+
+def weak_scaling_spec(
+    system: SystemConfig,
+    card_counts: tuple[int, ...],
+    test_case: TestCaseConfig = SUBSONIC_TURBULENCE,
+    num_steps: int = 100,
+    seed: int = 0,
+) -> CampaignSpec:
+    """The weak-scaling sweep as a declarative campaign."""
+    return CampaignSpec(
+        name="weak-scaling",
+        systems=(system.name,),
+        test_cases=(test_case.name,),
+        card_counts=tuple(card_counts),
+        num_steps=num_steps,
+        seeds=(seed,),
+    )
+
+
 def weak_scaling_series(
     system: SystemConfig,
     card_counts: tuple[int, ...],
     test_case: TestCaseConfig = SUBSONIC_TURBULENCE,
     num_steps: int = 100,
     seed: int = 0,
+    workers: int = 1,
+    store: ResultStore | None = None,
+    progress: ProgressFn | None = None,
 ) -> list[WeakScalingPoint]:
     """Run the sweep and extract the scaling quantities."""
-    points = []
-    for cards in card_counts:
-        result = run_scaled_experiment(
-            system, test_case, cards, num_steps=num_steps, seed=seed
-        )
-        run = result.run
-        total = device_breakdown(run).total_joules
-        seconds = function_seconds(run)
-        step_time = run.app_seconds / run.num_steps
-        domain_share = seconds["DomainDecompAndSync"] / sum(seconds.values())
-        points.append(
-            WeakScalingPoint(
-                num_cards=cards,
-                num_ranks=run.num_ranks,
-                seconds_per_step=step_time,
-                joules_per_card=total / cards,
-                total_joules=total,
-                domain_sync_share=domain_share,
-            )
-        )
-    return points
+    spec = weak_scaling_spec(
+        system, card_counts, test_case=test_case, num_steps=num_steps, seed=seed
+    )
+    results, _ = execute(
+        expand(spec), store=store, workers=workers, progress=progress
+    )
+    return merge_weak_scaling(results)
 
 
 def weak_scaling_table(points: list[WeakScalingPoint]) -> str:

@@ -7,12 +7,33 @@ total against Slurm's ConsumedEnergy on each system.
 
 from __future__ import annotations
 
-from repro.analysis.validation import ValidationPoint, validate_pmt_against_slurm
+from repro.analysis.validation import ValidationPoint
+from repro.campaign.executor import ProgressFn, execute
+from repro.campaign.merge import merge_figure1
+from repro.campaign.spec import CampaignSpec, expand
+from repro.campaign.store import ResultStore
 from repro.config import SUBSONIC_TURBULENCE, SystemConfig, TestCaseConfig
-from repro.experiments.runner import run_scaled_experiment
 
 #: The card counts of Figure 1.
 FIGURE1_CARD_COUNTS = (8, 16, 24, 32, 40, 48)
+
+
+def figure1_spec(
+    system: SystemConfig,
+    card_counts: tuple[int, ...] = FIGURE1_CARD_COUNTS,
+    test_case: TestCaseConfig = SUBSONIC_TURBULENCE,
+    num_steps: int | None = None,
+    seed: int = 0,
+) -> CampaignSpec:
+    """One system's Figure 1 sweep as a declarative campaign."""
+    return CampaignSpec(
+        name="fig1",
+        systems=(system.name,),
+        test_cases=(test_case.name,),
+        card_counts=tuple(card_counts),
+        num_steps=num_steps,
+        seeds=(seed,),
+    )
 
 
 def figure1_series(
@@ -21,17 +42,18 @@ def figure1_series(
     test_case: TestCaseConfig = SUBSONIC_TURBULENCE,
     num_steps: int | None = None,
     seed: int = 0,
+    workers: int = 1,
+    store: ResultStore | None = None,
+    progress: ProgressFn | None = None,
 ) -> list[ValidationPoint]:
     """One system's PMT-vs-Slurm series."""
-    points = []
-    for cards in card_counts:
-        result = run_scaled_experiment(
-            system, test_case, cards, num_steps=num_steps, seed=seed
-        )
-        points.append(
-            validate_pmt_against_slurm(result.run, result.accounting, cards)
-        )
-    return points
+    spec = figure1_spec(
+        system, card_counts, test_case=test_case, num_steps=num_steps, seed=seed
+    )
+    results, _ = execute(
+        expand(spec), store=store, workers=workers, progress=progress
+    )
+    return merge_figure1(results)
 
 
 def figure1_table(points: list[ValidationPoint]) -> str:

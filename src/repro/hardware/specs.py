@@ -11,11 +11,10 @@ Xeon) live in :mod:`repro.config`; this module only defines the shapes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import HardwareError
 from repro.hardware.power_model import PowerModel
-
 
 @dataclass(frozen=True)
 class GpuSpec:

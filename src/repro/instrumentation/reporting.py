@@ -43,6 +43,51 @@ def telemetry_qc_line(run: RunMeasurements) -> str:
     return "Telemetry QC: DEGRADED (" + "; ".join(degraded) + ")"
 
 
+def campaign_health_summary(runs: dict[str, RunMeasurements]) -> str:
+    """Aggregate telemetry health across a campaign's runs (shards).
+
+    ``runs`` maps a per-run label (the run key's compact form) to its
+    measurements.  The verdict is one line when every shard measured
+    cleanly; degraded shards are each listed with the nodes and meters
+    that served substituted values, so a sweep summary never hides a
+    sensor failure inside an aggregate.
+    """
+    if not runs:
+        return "Telemetry QC: no runs"
+    unknown = sum(1 for run in runs.values() if not run.telemetry_health)
+    degraded = {
+        label: run
+        for label, run in runs.items()
+        if run.telemetry_health and run.telemetry_degraded
+    }
+    mitigations = 0
+    for run in runs.values():
+        for h in run.telemetry_health:
+            mitigations += (
+                h.retries + h.gaps_interpolated + h.glitches_rejected
+                + h.stuck_detections
+            )
+    if not degraded:
+        verdict = f"Telemetry QC: ok across {len(runs)} runs"
+        if mitigations:
+            verdict += f" ({mitigations} transient mitigations)"
+        if unknown:
+            verdict += f"; {unknown} runs without health records"
+        return verdict
+    lines = [
+        f"Telemetry QC: {len(degraded)} of {len(runs)} runs DEGRADED "
+        f"({mitigations} mitigations total)"
+    ]
+    for label, run in degraded.items():
+        nodes = "; ".join(
+            f"node {h.node_index}: {', '.join(h.degraded_children)}"
+            for h in run.telemetry_health
+            if h.status != "ok"
+        )
+        lines.append(f"  {label}: {nodes}")
+    return "\n".join(lines)
+
+
 def device_report(run: RunMeasurements) -> str:
     """The device-level energy breakdown of one run."""
     # Imported lazily: the analysis package consumes instrumentation

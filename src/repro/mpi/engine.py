@@ -49,7 +49,8 @@ class RankWork:
     def __post_init__(self) -> None:
         if self.duration < 0:
             raise SimulationError(f"negative phase duration {self.duration!r}")
-        for name in ("gpu_compute", "gpu_memory", "cpu_share", "mem_share", "nic_share"):
+        shares = ("gpu_compute", "gpu_memory", "cpu_share", "mem_share", "nic_share")
+        for name in shares:
             v = getattr(self, name)
             if not 0.0 <= v <= 1.0:
                 raise SimulationError(f"{name}={v!r} outside [0, 1]")

@@ -14,11 +14,8 @@ power plausibility, which detectors should flag).
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.errors import SensorError
 from repro.sensors.base import SensorReading
-
 
 class FrozenCounterFault:
     """After ``freeze_at`` the sensor returns its last-known state forever.

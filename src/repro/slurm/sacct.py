@@ -9,8 +9,6 @@ Elapsed, ConsumedEnergy) with Slurm's energy suffix convention
 from __future__ import annotations
 
 from repro.slurm.job import JobAccounting
-from repro.units import format_duration
-
 
 def format_consumed_energy(joules: float) -> str:
     """Render energy the way sacct does (K/M/G suffixes, 2 decimals)."""

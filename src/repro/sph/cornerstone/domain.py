@@ -130,6 +130,8 @@ class DomainDecomposition:
         mask[start:end] = False
         return np.nonzero(mask)[0]
 
-    def halo_bytes(self, ps: ParticleSet, rank: int, bytes_per_particle: int = 88) -> float:
+    def halo_bytes(
+        self, ps: ParticleSet, rank: int, bytes_per_particle: int = 88
+    ) -> float:
         """Approximate halo-exchange volume for ``rank`` (for comm costing)."""
         return float(len(self.halo_indices(ps, rank)) * bytes_per_particle)

@@ -16,12 +16,10 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import SimulationError
-from repro.sph.box import Box
 from repro.sph.initial_conditions.turbulence import make_turbulence
 
 #: Self-similar front coefficient for gamma = 5/3 in 3D.
 SEDOV_XI0 = 1.152
-
 
 def sedov_front_radius(
     t: float, energy: float = 1.0, rho0: float = 1.0

@@ -61,7 +61,9 @@ HYDRO_FUNCTIONS = (
     "EnergyConservation",
 )
 
-TURBULENCE_FUNCTIONS = HYDRO_FUNCTIONS[:6] + ("TurbulenceDriving",) + HYDRO_FUNCTIONS[6:]
+TURBULENCE_FUNCTIONS = (
+    HYDRO_FUNCTIONS[:6] + ("TurbulenceDriving",) + HYDRO_FUNCTIONS[6:]
+)
 GRAVITY_FUNCTIONS = HYDRO_FUNCTIONS[:6] + ("Gravity",) + HYDRO_FUNCTIONS[6:]
 
 

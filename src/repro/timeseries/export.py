@@ -42,7 +42,8 @@ def chrome_trace_events(
 
     nodes = sorted({node for node, _ in store.channels()})
     if spans is not None:
-        nodes = sorted(set(nodes) | {s.node_index for s in spans.spans if s.node_index >= 0})
+        span_nodes = {s.node_index for s in spans.spans if s.node_index >= 0}
+        nodes = sorted(set(nodes) | span_nodes)
     for node in nodes:
         label = (node_names or {}).get(node, f"node{node}")
         events.append(

@@ -283,7 +283,8 @@ class ChannelSeries:
         # Energy-preserving mean: the bucket rectangle integrates to the
         # exact joules delta of its span; zero-length spans (all samples at
         # one instant) fall back to the arithmetic mean.
-        mean = np.where(span > 0, np.divide(j1 - j0, np.where(span > 0, span, 1.0)), w.mean(axis=1))
+        rate = np.divide(j1 - j0, np.where(span > 0, span, 1.0))
+        mean = np.where(span > 0, rate, w.mean(axis=1))
         if self._buckets.free < num_buckets:
             self._drain_buckets(num_buckets)
         self._buckets.extend(

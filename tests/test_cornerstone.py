@@ -127,7 +127,10 @@ class TestCornerstoneTree:
         assert not node_aligned(0, 16)  # power of 2, not of 8
         assert not node_aligned(0, 0)
 
-    @given(st.integers(min_value=1, max_value=2000), st.integers(min_value=1, max_value=128))
+    @given(
+        st.integers(min_value=1, max_value=2000),
+        st.integers(min_value=1, max_value=128),
+    )
     @settings(max_examples=25, deadline=None)
     def test_invariants_property(self, n, bucket):
         rng = np.random.default_rng(n * 1000 + bucket)

@@ -225,7 +225,9 @@ class TestNetworkModel:
         with pytest.raises(HardwareError):
             NetworkModel(latency_s=0.0, bandwidth_bytes_per_s=0.0)
         with pytest.raises(HardwareError):
-            NetworkModel(latency_s=0.0, bandwidth_bytes_per_s=1e9, intra_node_factor=0.5)
+            NetworkModel(
+                latency_s=0.0, bandwidth_bytes_per_s=1e9, intra_node_factor=0.5
+            )
 
 
 class TestCluster:

@@ -1,17 +1,14 @@
 """Tests for the grad-h (Omega) correction."""
 
 import numpy as np
-import pytest
 
 from repro.sph import Simulation
-from repro.sph.box import Box
 from repro.sph.initial_conditions import make_evrard, make_turbulence
 from repro.sph.kernels import CubicSplineKernel
 from repro.sph.neighbors import find_neighbors
 from repro.sph.physics import compute_density
 from repro.sph.physics.grad_h import compute_omega, kernel_dh
 from repro.sph.propagator import Propagator
-
 
 class TestKernelDh:
     def test_matches_finite_difference(self):

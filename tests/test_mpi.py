@@ -1,13 +1,11 @@
 """Tests for rank placement, communication costs, and the SPMD engine."""
 
-import numpy as np
 import pytest
 
 from repro.config import CSCS_A100, LUMI_G, MINIHPC
 from repro.errors import CommunicatorError, SimulationError
 from repro.hardware import Cluster, VirtualClock
 from repro.mpi import CommCostModel, RankPlacement, RankWork, SpmdEngine
-
 
 def make_cluster(system, num_nodes):
     clock = VirtualClock()
@@ -67,7 +65,8 @@ class TestRankPlacement:
 class TestCommCostModel:
     @pytest.fixture
     def cost(self):
-        return CommCostModel(CSCS_A100.network, RankPlacement(make_cluster(CSCS_A100, 4)))
+        placement = RankPlacement(make_cluster(CSCS_A100, 4))
+        return CommCostModel(CSCS_A100.network, placement)
 
     def test_barrier_log_rounds(self, cost):
         assert cost.barrier_time() == pytest.approx(4 * CSCS_A100.network.latency_s)
@@ -81,8 +80,9 @@ class TestCommCostModel:
         assert cost.allreduce_time(1e6) > cost.allreduce_time(8)
 
     def test_allgather_scales_with_ranks(self):
-        small = CommCostModel(CSCS_A100.network, RankPlacement(make_cluster(CSCS_A100, 2)))
-        large = CommCostModel(CSCS_A100.network, RankPlacement(make_cluster(CSCS_A100, 8)))
+        net = CSCS_A100.network
+        small = CommCostModel(net, RankPlacement(make_cluster(CSCS_A100, 2)))
+        large = CommCostModel(net, RankPlacement(make_cluster(CSCS_A100, 8)))
         assert large.allgather_time(1e4) > small.allgather_time(1e4)
 
     def test_p2p_intra_node_faster(self, cost):

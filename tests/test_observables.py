@@ -63,7 +63,9 @@ class TestGridDeposit:
     def test_requires_periodic_box(self):
         ps, _ = make_turbulence(n_side=4)
         with pytest.raises(SimulationError):
-            deposit_to_grid(Box(length=1.0, periodic=False) and ps, Box(length=1.0, periodic=False), 4, ps.u)
+            deposit_to_grid(
+                ps, Box(length=1.0, periodic=False), 4, ps.u
+            )
 
     def test_grid_too_small_rejected(self):
         ps, box = make_turbulence(n_side=4)

@@ -180,7 +180,10 @@ class TestNeighborSearch:
         with pytest.raises(SimulationError, match="overflow"):
             cell_list_pairs(pos, h, box)
 
-    @given(st.integers(min_value=2, max_value=60), st.integers(min_value=0, max_value=99))
+    @given(
+        st.integers(min_value=2, max_value=60),
+        st.integers(min_value=0, max_value=99),
+    )
     @settings(max_examples=25, deadline=None)
     def test_pairs_symmetric_property(self, n, seed):
         """(i, j) present implies (j, i) present with equal distance."""

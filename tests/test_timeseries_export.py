@@ -21,13 +21,11 @@ from repro.timeseries import (
     write_chrome_trace,
     write_csv,
     write_jsonl,
-    write_prometheus,
     write_trace_csv,
 )
 
 #: Keys the Trace Event Format requires on every event.
 REQUIRED_EVENT_KEYS = {"name", "ph", "ts", "pid", "tid"}
-
 
 def _small_store():
     store = SampleStore()

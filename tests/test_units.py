@@ -1,12 +1,9 @@
 """Tests for repro.units conversions and formatting."""
 
-import math
-
 import pytest
 from hypothesis import given, strategies as st
 
 from repro import units
-
 
 class TestConversions:
     def test_mhz(self):

@@ -1,7 +1,7 @@
 PYTHON ?= python
 PYTEST := PYTHONPATH=src $(PYTHON) -m pytest
 
-.PHONY: test bench bench-smoke bench-campaign bench-faults bench-timeseries
+.PHONY: test bench bench-smoke bench-campaign bench-faults bench-timeseries audit
 
 # Tier-1: the full unit/integration/property suite.
 test:
@@ -33,3 +33,12 @@ bench-faults:
 # event counts, check byte-identical re-export.
 bench-timeseries:
 	$(PYTEST) benchmarks/bench_timeseries.py -q
+
+# Energy-accounting audit: the AST lint over the source tree (exits
+# non-zero on any finding) plus a strict-mode audited measurement run —
+# every accounting invariant (DESIGN.md, "Audited invariants") checked
+# live; the first violation raises.
+audit:
+	PYTHONPATH=src $(PYTHON) -m repro.audit src/repro
+	PYTHONPATH=src $(PYTHON) -m repro report --system CSCS-A100 \
+		--case "Subsonic Turbulence" --cards 8 --steps 10 --audit-strict

@@ -39,10 +39,60 @@ class ProfileStats:
         return abs(self.integrated_joules - self.counter_joules) / self.counter_joules
 
 
-def profile_stats(rows: list[SampleRow]) -> ProfileStats:
-    """Compute summary statistics of a sampler dump."""
+def interpolated_row(rows: list[SampleRow], t: float) -> SampleRow:
+    """The profile's linearly-interpolated sample at time ``t``.
+
+    ``t`` must lie inside the sampled range: the sampler knows nothing
+    about power outside its first and last row, so extrapolating would
+    invent energy.
+    """
+    if len(rows) < 2:
+        raise AnalysisError("interpolation needs at least two samples")
+    times = np.array([r.timestamp for r in rows])
+    if np.any(np.diff(times) < 0):
+        raise AnalysisError("sampler rows must be time-ordered")
+    if t < times[0] or t > times[-1]:
+        raise AnalysisError(
+            f"time {t!r} outside sampled range "
+            f"[{times[0]!r}, {times[-1]!r}]"
+        )
+    watts = float(np.interp(t, times, [r.watts for r in rows]))
+    joules = float(np.interp(t, times, [r.joules for r in rows]))
+    return SampleRow(timestamp=float(t), joules=joules, watts=watts)
+
+
+def clip_rows(rows: list[SampleRow], t0: float, t1: float) -> list[SampleRow]:
+    """Rows covering exactly ``[t0, t1]``, endpoints interpolated in.
+
+    A region whose boundaries fall *between* sampler ticks loses the
+    partial interval at each end if the profile is naively restricted to
+    the rows inside the window — the trapezoidal integral then undercounts
+    the region's energy by up to one full sampling interval per boundary.
+    Clamping with boundary-interpolated samples closes the books: the
+    clipped profiles of adjacent regions tile their union exactly.
+    """
+    if t1 <= t0:
+        raise AnalysisError(f"empty clip window [{t0!r}, {t1!r}]")
+    first = interpolated_row(rows, t0)
+    last = interpolated_row(rows, t1)
+    inner = [r for r in rows if t0 < r.timestamp < t1]
+    return [first, *inner, last]
+
+
+def profile_stats(
+    rows: list[SampleRow], window: tuple[float, float] | None = None
+) -> ProfileStats:
+    """Compute summary statistics of a sampler dump.
+
+    With ``window=(t0, t1)`` the profile is clamped to that sub-range
+    using boundary-interpolated endpoint samples (see :func:`clip_rows`),
+    so per-region stats integrate the partial sampling intervals at both
+    ends instead of dropping them.
+    """
     if len(rows) < 2:
         raise AnalysisError("a power profile needs at least two samples")
+    if window is not None:
+        rows = clip_rows(rows, *window)
     times = np.array([r.timestamp for r in rows])
     watts = np.array([r.watts for r in rows])
     if np.any(np.diff(times) < 0):

@@ -1,0 +1,7 @@
+"""``python -m repro.audit [paths...]`` runs the energy-accounting lint."""
+
+import sys
+
+from repro.audit.lint import main
+
+sys.exit(main())

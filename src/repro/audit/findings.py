@@ -1,0 +1,149 @@
+"""Typed audit findings: the structured record of a broken invariant.
+
+Every violation the audit layer detects — at a region boundary, on a
+sampler tick, or in the end-of-run reconciliation — becomes one
+:class:`AuditFinding`: which invariant broke, where, by how much, and
+against which tolerance.  Findings are plain frozen dataclasses with a
+stable JSON form, so they survive the campaign cache round-trip and can
+be surfaced in reports without re-running anything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+
+#: Canonical invariant names, in the order reports list them.
+INVARIANTS = (
+    "region-window",
+    "counter-monotone",
+    "tick-order",
+    "function-partition",
+    "device-partition",
+    "timeseries-conservation",
+    "pmt-vs-slurm",
+)
+
+#: Finding severities: ``error`` breaks the energy books, ``warning``
+#: flags a tolerated-but-noteworthy condition (e.g. a suspect interval).
+SEVERITIES = ("error", "warning")
+
+
+@dataclass(frozen=True)
+class AuditFinding:
+    """One detected invariant violation."""
+
+    #: Which invariant broke (one of :data:`INVARIANTS`).
+    invariant: str
+    #: Where: ``"node 0 / cpu"``, ``"rank 3 / Density"``, ``"run"`` ...
+    scope: str
+    #: Human-readable statement of the violation.
+    message: str
+    #: The offending measured value, when the check is numeric.
+    measured: float | None = None
+    #: What the invariant expected the value to be (or stay within).
+    expected: float | None = None
+    #: The tolerance the comparison used.
+    tolerance: float | None = None
+    severity: str = "error"
+
+    def __post_init__(self) -> None:
+        if self.invariant not in INVARIANTS:
+            raise ValueError(
+                f"unknown invariant {self.invariant!r}; "
+                f"expected one of {INVARIANTS}"
+            )
+        if self.severity not in SEVERITIES:
+            raise ValueError(
+                f"unknown severity {self.severity!r}; "
+                f"expected one of {SEVERITIES}"
+            )
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (for campaign archival)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "AuditFinding":
+        return cls(**payload)
+
+    def render(self) -> str:
+        """One report line."""
+        detail = ""
+        if self.measured is not None and self.expected is not None:
+            detail = (
+                f" (measured {self.measured:.6g}, "
+                f"expected {self.expected:.6g}"
+            )
+            if self.tolerance is not None:
+                detail += f", tolerance {self.tolerance:.3g}"
+            detail += ")"
+        return (
+            f"[{self.severity}] {self.invariant} @ {self.scope}: "
+            f"{self.message}{detail}"
+        )
+
+
+@dataclass(frozen=True)
+class AuditReport:
+    """The outcome of one audited run: findings plus check coverage.
+
+    ``checks`` counts how many times each invariant was actually
+    evaluated — a report with zero findings and zero checks is *not* a
+    clean bill of health, and :meth:`render` says so.
+    """
+
+    findings: tuple[AuditFinding, ...] = ()
+    checks: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        """True when no error-severity finding was recorded."""
+        return not any(f.severity == "error" for f in self.findings)
+
+    @property
+    def errors(self) -> tuple[AuditFinding, ...]:
+        return tuple(f for f in self.findings if f.severity == "error")
+
+    @property
+    def warnings(self) -> tuple[AuditFinding, ...]:
+        return tuple(f for f in self.findings if f.severity == "warning")
+
+    @property
+    def checks_run(self) -> int:
+        return sum(self.checks.values())
+
+    def render(self) -> str:
+        """The multi-line audit section of a run report."""
+        if not self.checks:
+            return "Energy audit: no checks ran"
+        coverage = ", ".join(
+            f"{name}: {self.checks[name]}"
+            for name in INVARIANTS
+            if name in self.checks
+        )
+        if not self.findings:
+            return (
+                f"Energy audit: ok — {self.checks_run} checks, "
+                f"0 findings ({coverage})"
+            )
+        head = (
+            f"Energy audit: {len(self.errors)} errors, "
+            f"{len(self.warnings)} warnings over {self.checks_run} checks "
+            f"({coverage})"
+        )
+        return "\n".join([head] + [f"  {f.render()}" for f in self.findings])
+
+    def to_dict(self) -> dict:
+        return {
+            "findings": [f.to_dict() for f in self.findings],
+            "checks": dict(self.checks),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "AuditReport":
+        return cls(
+            findings=tuple(
+                AuditFinding.from_dict(f) for f in payload.get("findings", ())
+            ),
+            checks=dict(payload.get("checks", {})),
+        )

@@ -1,0 +1,294 @@
+"""The runtime energy auditor and its opt-in wiring.
+
+:class:`EnergyAuditor` attaches to the live measurement stack the same
+way the span recorder does — as a passive extension attribute — and
+watches the run from three vantage points:
+
+* **profiler** (:class:`~repro.instrumentation.profiler.EnergyProfiler`):
+  every node-counter snapshot is checked for monotonicity, every closed
+  region for a sane window and non-negative counter deltas;
+* **samplers** (:class:`~repro.pmt.sampler.PmtSampler`): every tick is
+  checked for time ordering and monotone energy, and per-channel first /
+  last tallies are kept for the store-conservation check;
+* **end of run**: the pure checkers of :mod:`repro.audit.invariants`
+  reconcile the gathered records against the app window, the Slurm
+  accounting and the retained timeseries.
+
+The auditor never takes a measurement of its own — it only observes
+values the pipeline already produced, so an audited run reports
+bit-identical energies to an unaudited one.
+
+In ``record`` mode violations accumulate into the final
+:class:`~repro.audit.findings.AuditReport`; in ``strict`` mode the first
+error-severity finding raises :class:`~repro.errors.AuditError`.
+
+Opt in per call (``audit=`` on the runner, ``--audit`` on the CLI) or
+process-wide via ``REPRO_AUDIT`` (``1``/``record`` or ``strict``).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from repro.audit.findings import AuditFinding, AuditReport
+from repro.audit.invariants import (
+    check_device_partition,
+    check_function_partition,
+    check_pmt_vs_slurm,
+    check_store_conservation,
+)
+from repro.audit.tolerances import AuditTolerances, tolerances_for
+from repro.errors import AuditError
+
+#: Environment variable controlling process-wide audit mode.
+AUDIT_ENV = "REPRO_AUDIT"
+
+_OFF = ("", "0", "off", "false", "no")
+_STRICT = ("strict",)
+
+
+@dataclass(frozen=True)
+class AuditSettings:
+    """Resolved audit mode: off, record, or strict."""
+
+    enabled: bool = False
+    strict: bool = False
+
+    @classmethod
+    def from_env(cls) -> "AuditSettings":
+        """Mode from ``REPRO_AUDIT`` (off when unset)."""
+        raw = os.environ.get(AUDIT_ENV, "").strip().lower()
+        if raw in _OFF:
+            return cls()
+        return cls(enabled=True, strict=raw in _STRICT)
+
+    @classmethod
+    def resolve(cls, audit: "bool | str | None") -> "AuditSettings":
+        """Resolve a runner-style ``audit`` argument.
+
+        ``None`` defers to the environment; ``False`` disables;
+        ``True`` / ``"record"`` records; ``"strict"`` raises on the
+        first error finding.
+        """
+        if audit is None:
+            return cls.from_env()
+        if audit is False:
+            return cls()
+        if audit is True:
+            return cls(enabled=True)
+        raw = str(audit).strip().lower()
+        if raw in _OFF:
+            return cls()
+        return cls(enabled=True, strict=raw in _STRICT)
+
+
+class EnergyAuditor:
+    """Records (or raises on) energy-accounting invariant violations."""
+
+    def __init__(
+        self,
+        system: object | None = None,
+        strict: bool = False,
+        tolerances: AuditTolerances | None = None,
+    ) -> None:
+        system_name = getattr(system, "name", system)
+        self.system_name = system_name
+        self.strict = strict
+        self.tolerances = (
+            tolerances if tolerances is not None else tolerances_for(system_name)
+        )
+        self.findings: list[AuditFinding] = []
+        self._checks: dict[str, int] = {}
+        #: Last seen cumulative joules per (node, counter) snapshot name.
+        self._last_counters: dict[tuple[int, str], float] = {}
+        #: Last tick timestamp per sampler id.
+        self._last_tick_t: dict[int, float] = {}
+        #: Last joules per (node, measurement) seen on the tick stream.
+        self._last_tick_joules: dict[tuple[int, str], float] = {}
+        #: (node, measurement) -> (first_t, first_j, last_t, last_j).
+        self._tallies: dict[tuple[int, str], tuple[float, float, float, float]] = {}
+
+    # -- recording ------------------------------------------------------------
+
+    def _checked(self, invariant: str, n: int = 1) -> None:
+        self._checks[invariant] = self._checks.get(invariant, 0) + n
+
+    def record(self, finding: AuditFinding) -> None:
+        """Record one finding; in strict mode, raise on errors."""
+        self.findings.append(finding)
+        if self.strict and finding.severity == "error":
+            raise AuditError(finding.render(), finding=finding)
+
+    def extend(self, findings: list[AuditFinding]) -> None:
+        for finding in findings:
+            self.record(finding)
+
+    # -- runtime hooks --------------------------------------------------------
+
+    def on_counters(
+        self, node_index: int, t: float, counters: dict[str, float]
+    ) -> None:
+        """Profiler hook: one node-counter snapshot was taken.
+
+        Cumulative counters (PMT backends unwrap for us) must never move
+        backwards between snapshots.
+        """
+        for name, joules in counters.items():
+            key = (node_index, name)
+            last = self._last_counters.get(key)
+            self._checked("counter-monotone")
+            slack = self.tolerances.counter_slack_joules
+            if last is not None and joules < last - slack:
+                self.record(
+                    AuditFinding(
+                        invariant="counter-monotone",
+                        scope=f"node {node_index} / {name}",
+                        message=(
+                            "cumulative counter moved backwards between "
+                            "snapshots (missed wrap or broken unwrap)"
+                        ),
+                        measured=joules,
+                        expected=last,
+                        tolerance=self.tolerances.counter_slack_joules,
+                    )
+                )
+            if last is None or joules > last:
+                self._last_counters[key] = joules
+
+    def on_region(
+        self,
+        rank: int,
+        function: str,
+        t0: float,
+        t1: float,
+        deltas: dict[str, float],
+    ) -> None:
+        """Profiler hook: one instrumented region closed."""
+        self._checked("region-window")
+        if t1 < t0:
+            self.record(
+                AuditFinding(
+                    invariant="region-window",
+                    scope=f"rank {rank} / {function}",
+                    message="region ended before it began",
+                    measured=t1,
+                    expected=t0,
+                )
+            )
+        for name, joules in deltas.items():
+            self._checked("region-window")
+            if joules < -self.tolerances.counter_slack_joules:
+                self.record(
+                    AuditFinding(
+                        invariant="region-window",
+                        scope=f"rank {rank} / {function} / {name}",
+                        message="negative region counter delta",
+                        measured=joules,
+                        expected=0.0,
+                        tolerance=self.tolerances.counter_slack_joules,
+                    )
+                )
+
+    def watch_sampler(self, node_index: int, sampler) -> None:
+        """Subscribe to one node's sampler ticks."""
+        sampler.add_listener(
+            lambda tick, node=int(node_index): self.on_tick(node, tick)
+        )
+
+    def on_tick(self, node_index: int, tick) -> None:
+        """Sampler hook: one structured sampling tick fired."""
+        self._checked("tick-order")
+        last_t = self._last_tick_t.get(node_index)
+        if last_t is not None and tick.timestamp < last_t:
+            self.record(
+                AuditFinding(
+                    invariant="tick-order",
+                    scope=f"node {node_index}",
+                    message="sampler tick timestamps moved backwards",
+                    measured=tick.timestamp,
+                    expected=last_t,
+                )
+            )
+        self._last_tick_t[node_index] = tick.timestamp
+        for m in tick.state.measurements:
+            key = (node_index, m.name)
+            self._checked("counter-monotone")
+            last = self._last_tick_joules.get(key)
+            if (
+                last is not None
+                and m.joules < last - self.tolerances.counter_slack_joules
+            ):
+                self.record(
+                    AuditFinding(
+                        invariant="counter-monotone",
+                        scope=f"node {node_index} / {m.name}",
+                        message=(
+                            "sampled energy counter moved backwards "
+                            f"(quality {m.quality!r})"
+                        ),
+                        measured=m.joules,
+                        expected=last,
+                        tolerance=self.tolerances.counter_slack_joules,
+                    )
+                )
+            self._last_tick_joules[key] = max(last or m.joules, m.joules)
+            tally = self._tallies.get(key)
+            if tally is None:
+                self._tallies[key] = (
+                    tick.timestamp, m.joules, tick.timestamp, m.joules,
+                )
+            else:
+                self._tallies[key] = (
+                    tally[0], tally[1], tick.timestamp, m.joules,
+                )
+
+    # -- end-of-run reconciliation -------------------------------------------
+
+    def audit_run(self, run) -> None:
+        """Reconcile gathered records: function + device partitions."""
+        self._checked("function-partition", len(_counters_of(run)))
+        self.extend(check_function_partition(run, self.tolerances))
+        self._checked("device-partition", len(run.node_windows))
+        self.extend(check_device_partition(run, self.tolerances))
+
+    def audit_accounting(self, run, accounting) -> None:
+        """Validate the PMT window total against Slurm accounting."""
+        self._checked("pmt-vs-slurm")
+        self.extend(check_pmt_vs_slurm(run, accounting, self.tolerances))
+
+    def audit_store(self, store) -> None:
+        """Check tiered-store conservation against the tick tallies."""
+        self._checked("timeseries-conservation", max(1, len(self._tallies)))
+        self.extend(
+            check_store_conservation(store, self._tallies, self.tolerances)
+        )
+
+    def report(self) -> AuditReport:
+        """The accumulated audit outcome."""
+        return AuditReport(
+            findings=tuple(self.findings), checks=dict(self._checks)
+        )
+
+
+def _counters_of(run) -> tuple[str, ...]:
+    names = ["node", "cpu", "gpu"]
+    if any(w.memory_joules is not None for w in run.node_windows):
+        names.append("memory")
+    return tuple(names)
+
+
+def audit_campaign_result(result, strict: bool = False) -> AuditReport:
+    """Post-hoc audit of one archived campaign result.
+
+    Runs every end-of-run checker that works from serialized records —
+    function/device partitions and the PMT-vs-Slurm validation — so
+    cache *hits* are audited without re-executing anything.  Runtime-only
+    checks (tick order, live counter monotonicity, store conservation)
+    need a live run and are covered by ``REPRO_AUDIT`` on the executing
+    worker.
+    """
+    auditor = EnergyAuditor(system=result.run.system_name, strict=strict)
+    auditor.audit_run(result.run)
+    auditor.audit_accounting(result.run, result.accounting)
+    return auditor.report()

@@ -1,0 +1,251 @@
+"""Composable energy-accounting invariant checkers.
+
+Each checker is a pure function: it takes completed measurement records
+(plus the relevant tolerances) and returns the list of
+:class:`~repro.audit.findings.AuditFinding` it detected — empty when the
+books balance.  The runtime :class:`~repro.audit.hooks.EnergyAuditor`
+composes them at region boundaries and end-of-run; they are equally
+usable post hoc over archived campaign results, which is how cached runs
+get audited without re-executing a single step.
+
+The identities checked (Simsek et al., SC-W 2023, Sections 2-3):
+
+* **function partition** — attributed per-function energies sum to the
+  whole-run energy per counter, short only of the straggler gaps;
+* **device partition** — CPU + GPU + memory never exceed the node
+  sensor's energy ("Other" stays non-negative);
+* **pmt-vs-slurm** — the instrumented window's energy stays below
+  Slurm's ConsumedEnergy, and within the paper's per-system ratio
+  bounds when the window dominates the job;
+* **timeseries conservation** — tiered-store energy queries reproduce
+  the joules the raw tick stream delivered.
+"""
+
+from __future__ import annotations
+
+from repro.audit.findings import AuditFinding
+from repro.audit.tolerances import AuditTolerances
+
+#: Channel tally shape used by the conservation check:
+#: ``(node_index, name) -> (first_t, first_joules, last_t, last_joules)``.
+ChannelTallies = dict[tuple[int, str], tuple[float, float, float, float]]
+
+
+def _window_totals(run) -> dict[str, float]:
+    """Whole-app-window energy per canonical counter."""
+    totals = {
+        "node": sum(w.node_joules for w in run.node_windows),
+        "cpu": sum(w.cpu_joules for w in run.node_windows),
+        "gpu": sum(sum(w.card_joules) for w in run.node_windows),
+    }
+    memory = [
+        w.memory_joules
+        for w in run.node_windows
+        if w.memory_joules is not None
+    ]
+    if memory:
+        totals["memory"] = sum(memory)
+    return totals
+
+
+def check_function_partition(
+    run, tol: AuditTolerances | None = None
+) -> list[AuditFinding]:
+    """Per-function attributed energies partition the app window.
+
+    For every counter: the attributed (sharing-corrected) per-function
+    sums telescope inside the window, so they may exceed the window total
+    only by quantization fuzz, and fall short of it only by the straggler
+    gaps between a rank's own region end and the phase barrier.
+    """
+    from repro.analysis.aggregate import function_totals
+
+    tol = tol or AuditTolerances()
+    findings: list[AuditFinding] = []
+    slack = tol.counter_slack_joules * max(1, run.num_ranks)
+    for counter, window in _window_totals(run).items():
+        measured = sum(function_totals(run, counter).values())
+        excess_cap = window * tol.function_partition_max_excess + slack
+        deficit_cap = window * tol.function_partition_max_deficit + slack
+        if measured > window + excess_cap:
+            findings.append(
+                AuditFinding(
+                    invariant="function-partition",
+                    scope=f"run / {counter}",
+                    message=(
+                        "per-function energies exceed the app-window "
+                        "total (double counting)"
+                    ),
+                    measured=measured,
+                    expected=window,
+                    tolerance=tol.function_partition_max_excess,
+                )
+            )
+        elif measured < window - deficit_cap:
+            findings.append(
+                AuditFinding(
+                    invariant="function-partition",
+                    scope=f"run / {counter}",
+                    message=(
+                        "per-function energies fall short of the "
+                        "app-window total beyond the straggler-gap "
+                        "allowance (lost energy)"
+                    ),
+                    measured=measured,
+                    expected=window,
+                    tolerance=tol.function_partition_max_deficit,
+                )
+            )
+    return findings
+
+
+def check_device_partition(
+    run, tol: AuditTolerances | None = None
+) -> list[AuditFinding]:
+    """Per-device energies sum to at most the node sensor energy."""
+    tol = tol or AuditTolerances()
+    findings: list[AuditFinding] = []
+    for w in run.node_windows:
+        scope = f"node {w.node_index}"
+        components = {
+            "cpu": w.cpu_joules,
+            **{f"gpu{i}": j for i, j in enumerate(w.card_joules)},
+        }
+        if w.memory_joules is not None:
+            components["memory"] = w.memory_joules
+        for name, joules in (("node", w.node_joules), *components.items()):
+            if joules < -tol.counter_slack_joules:
+                findings.append(
+                    AuditFinding(
+                        invariant="counter-monotone",
+                        scope=f"{scope} / {name}",
+                        message="negative app-window counter delta",
+                        measured=joules,
+                        expected=0.0,
+                        tolerance=tol.counter_slack_joules,
+                    )
+                )
+        device_sum = sum(components.values())
+        cap = (
+            w.node_joules * (1.0 + tol.device_partition_max_excess)
+            + tol.counter_slack_joules * (1 + len(components))
+        )
+        if device_sum > cap:
+            findings.append(
+                AuditFinding(
+                    invariant="device-partition",
+                    scope=scope,
+                    message=(
+                        "device energies exceed the node sensor total "
+                        "('Other' went negative)"
+                    ),
+                    measured=device_sum,
+                    expected=w.node_joules,
+                    tolerance=tol.device_partition_max_excess,
+                )
+            )
+    return findings
+
+
+def check_pmt_vs_slurm(
+    run, accounting, tol: AuditTolerances | None = None
+) -> list[AuditFinding]:
+    """PMT's app-window total validates against Slurm's ConsumedEnergy.
+
+    ``accounting`` is anything accounting-shaped: a
+    :class:`~repro.slurm.job.JobAccounting` or a campaign
+    :class:`~repro.campaign.store.AccountingSummary` (needs
+    ``consumed_energy_joules``, ``start_time`` and ``end_time``).
+    """
+    from repro.analysis.validation import pmt_total_joules
+
+    tol = tol or AuditTolerances()
+    findings: list[AuditFinding] = []
+    slurm = accounting.consumed_energy_joules
+    if slurm <= 0:
+        return [
+            AuditFinding(
+                invariant="pmt-vs-slurm",
+                scope="run",
+                message="Slurm accounted non-positive energy",
+                measured=slurm,
+                expected=0.0,
+            )
+        ]
+    pmt = pmt_total_joules(run)
+    ratio = pmt / slurm
+    if ratio > tol.pmt_slurm_ratio_max:
+        findings.append(
+            AuditFinding(
+                invariant="pmt-vs-slurm",
+                scope="run",
+                message=(
+                    "PMT window energy exceeds Slurm's ConsumedEnergy "
+                    "(the window is a sub-interval of the accounted job)"
+                ),
+                measured=ratio,
+                expected=1.0,
+                tolerance=tol.pmt_slurm_ratio_max - 1.0,
+            )
+        )
+    job_seconds = accounting.end_time - accounting.start_time
+    window_fraction = run.app_seconds / job_seconds if job_seconds > 0 else 0.0
+    if (
+        window_fraction >= tol.pmt_slurm_min_window_fraction
+        and ratio < tol.pmt_slurm_ratio_min
+    ):
+        findings.append(
+            AuditFinding(
+                invariant="pmt-vs-slurm",
+                scope="run",
+                message=(
+                    "PMT/Slurm ratio below the calibrated per-system "
+                    "floor for a window-dominated job (lost window "
+                    "energy or inflated accounting)"
+                ),
+                measured=ratio,
+                expected=tol.pmt_slurm_ratio_min,
+                tolerance=tol.pmt_slurm_ratio_min,
+            )
+        )
+    return findings
+
+
+def check_store_conservation(
+    store, tallies: ChannelTallies, tol: AuditTolerances | None = None
+) -> list[AuditFinding]:
+    """Tiered-store energy queries conserve the raw stream's joules.
+
+    ``tallies`` holds, per channel, the first and last (timestamp,
+    joules) pair the raw tick stream delivered (the auditor accumulates
+    them while listening to sampler ticks).  The store's
+    ``energy_between`` over that span must reproduce the counter delta:
+    downsampling is energy-preserving by construction, so any loss is a
+    tiering bug.
+    """
+    tol = tol or AuditTolerances()
+    findings: list[AuditFinding] = []
+    for (node_index, name), (t0, j0, t1, j1) in sorted(tallies.items()):
+        if t1 <= t0:
+            continue  # single-sample channel: no span to conserve
+        expected = j1 - j0
+        measured = store.channel(node_index, name).energy_between(t0, t1)
+        slack = (
+            abs(expected) * tol.timeseries_conservation_rel
+            + tol.counter_slack_joules
+        )
+        if abs(measured - expected) > slack:
+            findings.append(
+                AuditFinding(
+                    invariant="timeseries-conservation",
+                    scope=f"node {node_index} / {name}",
+                    message=(
+                        "tiered-store energy query disagrees with the "
+                        "raw sample stream"
+                    ),
+                    measured=measured,
+                    expected=expected,
+                    tolerance=tol.timeseries_conservation_rel,
+                )
+            )
+    return findings

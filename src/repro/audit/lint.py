@@ -1,0 +1,271 @@
+"""AST-based energy-accounting lint for the repro source tree.
+
+The runtime auditor catches invariant violations *when they happen*; the
+lint keeps the classes of bugs that caused them from being written in the
+first place.  Four rules, each born from a latent bug this audit layer's
+dry run found:
+
+``wallclock``
+    Wall-clock time sources (``time.time``/``monotonic``/
+    ``perf_counter``/``process_time``, ``datetime.now``/``utcnow``/
+    ``today``) are forbidden: all simulated measurement flows from the
+    shared :class:`~repro.hardware.clock.VirtualClock`, and a stray host
+    clock read silently breaks determinism and energy attribution.
+
+``raw-random``
+    Module-level ``random.*`` calls and legacy ``numpy.random.*`` global
+    functions are forbidden: randomness must come from an explicitly
+    seeded ``numpy.random.default_rng`` (or ``Generator``) so runs are
+    reproducible and campaign cache keys stay honest.
+
+``float-energy-accumulation``
+    ``joules += watts * dt``-style running sums over sample streams are
+    forbidden: the pipeline's counters and the tiered store keep
+    *cumulative-joule knots* precisely so energy is differenced, not
+    re-integrated sample by sample (where float accumulation drifts and
+    dropped ticks silently lose energy).
+
+``unguarded-wrap-subtraction``
+    Direct subtraction of raw wrapping-register reads (``energy_uj`` /
+    ``*raw*_uj`` values) outside :meth:`RaplPackage.unwrap` is
+    forbidden: a wrapped counter difference must go through the
+    wrap-aware helper or it undercounts by whole register ranges.
+
+Legitimate exceptions are annotated in-line::
+
+    something()  # audit-lint: allow[wallclock] host-overhead timing
+
+The suppression names the rule it waives, so a blanket comment cannot
+hide an unrelated regression on the same line.
+
+Run as a module (the CI job and ``make audit`` do)::
+
+    python -m repro.audit.lint src/repro
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+
+#: The rule names, in report order.
+RULES = (
+    "wallclock",
+    "raw-random",
+    "float-energy-accumulation",
+    "unguarded-wrap-subtraction",
+)
+
+_WALLCLOCK_CALLS = {
+    ("time", "time"),
+    ("time", "monotonic"),
+    ("time", "monotonic_ns"),
+    ("time", "perf_counter"),
+    ("time", "perf_counter_ns"),
+    ("time", "process_time"),
+    ("time", "process_time_ns"),
+    ("datetime", "now"),
+    ("datetime", "utcnow"),
+    ("date", "today"),
+}
+
+#: Explicitly-seeded numpy entry points that remain allowed.
+_NP_RANDOM_ALLOWED = {"default_rng", "Generator", "SeedSequence", "PCG64"}
+
+_ALLOW_RE = re.compile(r"#\s*audit-lint:\s*allow\[([a-z-]+)\]")
+
+_RAW_UJ_RE = re.compile(r"(^|[._])raw\w*_uj|energy_uj", re.IGNORECASE)
+
+_ENERGY_NAME_RE = re.compile(r"joule|energy", re.IGNORECASE)
+_WATT_NAME_RE = re.compile(r"watt|power", re.IGNORECASE)
+
+
+@dataclass(frozen=True)
+class LintFinding:
+    """One lint violation."""
+
+    path: str
+    line: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def _names_in(node: ast.AST) -> list[str]:
+    out = []
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name):
+            out.append(sub.id)
+        elif isinstance(sub, ast.Attribute):
+            out.append(sub.attr)
+    return out
+
+
+def _dotted(node: ast.AST) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class _Visitor(ast.NodeVisitor):
+    def __init__(self, path: str, source_lines: list[str]) -> None:
+        self.path = path
+        self.lines = source_lines
+        self.findings: list[LintFinding] = []
+        self._function_stack: list[str] = []
+
+    # -- helpers --------------------------------------------------------------
+
+    def _allowed(self, lineno: int, rule: str) -> bool:
+        if 1 <= lineno <= len(self.lines):
+            for match in _ALLOW_RE.finditer(self.lines[lineno - 1]):
+                if match.group(1) == rule:
+                    return True
+        return False
+
+    def _emit(self, node: ast.AST, rule: str, message: str) -> None:
+        lineno = getattr(node, "lineno", 1)
+        if not self._allowed(lineno, rule):
+            self.findings.append(
+                LintFinding(self.path, lineno, rule, message)
+            )
+
+    # -- rule: wallclock / raw-random ----------------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        dotted = _dotted(node.func)
+        if dotted is not None:
+            parts = dotted.split(".")
+            if len(parts) >= 2 and (parts[-2], parts[-1]) in _WALLCLOCK_CALLS:
+                self._emit(
+                    node,
+                    "wallclock",
+                    f"wall-clock call {dotted}(): simulated code must "
+                    "read the shared VirtualClock",
+                )
+            if "random" in parts[:-1]:
+                fn = parts[-1]
+                after_random = parts[parts.index("random") + 1 :]
+                if (
+                    fn not in _NP_RANDOM_ALLOWED
+                    and not set(after_random[:-1]) & _NP_RANDOM_ALLOWED
+                ):
+                    self._emit(
+                        node,
+                        "raw-random",
+                        f"unseeded random call {dotted}(): use an "
+                        "explicitly seeded numpy default_rng",
+                    )
+        self.generic_visit(node)
+
+    # -- rule: float-energy-accumulation --------------------------------------
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        if isinstance(node.op, ast.Add):
+            target_names = _names_in(node.target)
+            if any(_ENERGY_NAME_RE.search(n) for n in target_names):
+                has_power_product = any(
+                    isinstance(sub, ast.BinOp)
+                    and isinstance(sub.op, ast.Mult)
+                    and any(
+                        _WATT_NAME_RE.search(n) for n in _names_in(sub)
+                    )
+                    for sub in ast.walk(node.value)
+                )
+                if has_power_product:
+                    self._emit(
+                        node,
+                        "float-energy-accumulation",
+                        "running float sum of power x time over a sample "
+                        "stream: difference cumulative-joule counters/"
+                        "knots instead",
+                    )
+        self.generic_visit(node)
+
+    # -- rule: unguarded-wrap-subtraction --------------------------------------
+
+    def visit_BinOp(self, node: ast.BinOp) -> None:
+        if isinstance(node.op, ast.Sub) and "unwrap" not in self._function_stack:
+            for side in (node.left, node.right):
+                rendered = ast.unparse(side)
+                if _RAW_UJ_RE.search(rendered):
+                    self._emit(
+                        node,
+                        "unguarded-wrap-subtraction",
+                        f"raw wrapping-register value {rendered!r} "
+                        "differenced directly: go through "
+                        "RaplPackage.unwrap",
+                    )
+                    break
+        self.generic_visit(node)
+
+    # -- function-context tracking ---------------------------------------------
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._function_stack.append(node.name)
+        self.generic_visit(node)
+        self._function_stack.pop()
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._function_stack.append(node.name)
+        self.generic_visit(node)
+        self._function_stack.pop()
+
+
+def lint_source(source: str, path: str = "<string>") -> list[LintFinding]:
+    """Lint one module's source text."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            LintFinding(
+                path, exc.lineno or 1, "wallclock", f"unparseable: {exc.msg}"
+            )
+        ]
+    visitor = _Visitor(path, source.splitlines())
+    visitor.visit(tree)
+    return sorted(visitor.findings, key=lambda f: (f.path, f.line, f.rule))
+
+
+def lint_paths(paths: list[str | Path]) -> list[LintFinding]:
+    """Lint files and/or directory trees of ``*.py`` files."""
+    files: list[Path] = []
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            files.extend(sorted(p.rglob("*.py")))
+        else:
+            files.append(p)
+    findings: list[LintFinding] = []
+    for f in files:
+        findings.extend(lint_source(f.read_text(), str(f)))
+    return findings
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    if not args:
+        args = ["src/repro"]
+    findings = lint_paths(args)
+    for finding in findings:
+        print(finding.render())
+    print(
+        f"audit-lint: {len(findings)} finding(s) over "
+        f"{len(args)} path(s)"
+    )
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    sys.exit(main())

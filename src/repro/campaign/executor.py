@@ -37,6 +37,13 @@ class CampaignStats:
     #: Simulation steps actually executed (0 on a fully-cached re-run).
     executed_steps: int = 0
     workers: int = 1
+    #: Post-hoc energy-audit coverage (``audit=`` on :func:`execute`):
+    #: invariant evaluations run and findings raised across all results,
+    #: cache hits included.
+    audit_checks: int = 0
+    audit_findings: int = 0
+    #: Per-key :class:`~repro.audit.findings.AuditReport`, when audited.
+    audit_reports: dict | None = None
 
     @property
     def done(self) -> int:
@@ -84,6 +91,7 @@ def execute(
     store: ResultStore | None = None,
     workers: int = 1,
     progress: ProgressFn | None = None,
+    audit: bool | str | None = None,
 ) -> tuple[dict[RunKey, CampaignResult], CampaignStats]:
     """Execute a campaign's keys, reusing every cached result.
 
@@ -92,6 +100,15 @@ def execute(
     ``workers`` > 1 fans the cache misses out over that many OS
     processes; results are collected in completion order but keyed by
     :class:`RunKey`, so downstream merges are order-independent.
+
+    ``audit`` runs the post-hoc energy-accounting audit over *every*
+    result — cache hits included, since the checkers work from the
+    serialized records — and reports coverage in the stats
+    (``audit_checks`` / ``audit_findings`` / ``audit_reports``).
+    ``"strict"`` raises :class:`~repro.errors.AuditError` on the first
+    error finding.  Runtime (in-situ) auditing of the executing workers
+    is env-driven: set ``REPRO_AUDIT`` and the worker processes inherit
+    it (the CLI's ``--audit`` flag does exactly that).
     """
     if workers < 1:
         raise ConfigurationError("workers must be >= 1")
@@ -129,5 +146,18 @@ def execute(
         with ctx.Pool(processes=min(workers, len(misses))) as pool:
             for key, result in pool.imap_unordered(_worker, misses):
                 _collect(key, result)
+
+    from repro.audit.hooks import AuditSettings, audit_campaign_result
+
+    audit_settings = AuditSettings.resolve(audit)
+    if audit_settings.enabled:
+        stats.audit_reports = {}
+        for key in keys:
+            report = audit_campaign_result(
+                results[key], strict=audit_settings.strict
+            )
+            stats.audit_reports[key] = report
+            stats.audit_checks += report.checks_run
+            stats.audit_findings += len(report.findings)
 
     return results, stats

@@ -47,6 +47,19 @@ def _add_steps(parser: argparse.ArgumentParser, default: int = 100) -> None:
     )
 
 
+def _add_audit(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--audit",
+        action="store_true",
+        help="check energy-accounting invariants and report findings",
+    )
+    parser.add_argument(
+        "--audit-strict",
+        action="store_true",
+        help="like --audit, but abort on the first broken invariant",
+    )
+
+
 def _cmd_table1(args: argparse.Namespace) -> int:
     from repro.experiments import table1_text
 
@@ -195,6 +208,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
         inject_fault=args.inject_fault,
         fault_target=args.fault_target,
         timeseries=args.timeseries,
+        audit=_audit_mode(args),
     )
     print(sacct_report([result.accounting]))
     print()
@@ -206,6 +220,9 @@ def _cmd_report(args: argparse.Namespace) -> int:
         print(health_report(result.run))
     point = validate_pmt_against_slurm(result.run, result.accounting, args.cards)
     print(f"\nPMT/Slurm = {point.ratio:.3f} (quality: {point.quality})")
+    if result.audit is not None:
+        print()
+        print(result.audit.render())
     if args.timeseries:
         from repro.timeseries import export_bundle
 
@@ -223,6 +240,18 @@ def _cmd_report(args: argparse.Namespace) -> int:
         result.run.write(args.out)
         print(f"measurements written to {args.out}")
     return 0
+
+
+def _audit_mode(args: argparse.Namespace) -> "bool | str | None":
+    """Map ``--audit`` / ``--audit-strict`` to the runner's audit arg.
+
+    Neither flag defers to the ``REPRO_AUDIT`` environment (``None``).
+    """
+    if getattr(args, "audit_strict", False):
+        return "strict"
+    if getattr(args, "audit", False):
+        return True
+    return None
 
 
 def _artifact_basename(case: str, cards: int) -> str:
@@ -403,11 +432,24 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
     spec = _campaign_spec(args)
     keys = expand(spec)
     progress = None if args.quiet else _progress_printer(len(keys))
+    audit_mode = _audit_mode(args)
+    if audit_mode:
+        # Worker processes inherit the env, so cache misses also run the
+        # *runtime* audit hooks in situ (strict mode aborts the worker on
+        # the first broken invariant, not just the post-hoc sweep).
+        import os
+
+        from repro.audit import AUDIT_ENV
+
+        os.environ[AUDIT_ENV] = (
+            "strict" if audit_mode == "strict" else "record"
+        )
     results, stats = execute(
         keys,
         store=_campaign_store(args),
         workers=args.workers,
         progress=progress,
+        audit=audit_mode,
     )
     if args.sweep == "fig4":
         print(_render_fig4(merge_figure4(results, BASELINE_MHZ), spec.freqs_mhz))
@@ -419,6 +461,12 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
         print(weak_scaling_table(merge_weak_scaling(results)))
     print()
     print(campaign_summary(spec.name, stats, results))
+    if stats.audit_reports is not None:
+        from repro.instrumentation.reporting import campaign_audit_summary
+
+        print(campaign_audit_summary(stats))
+        if stats.audit_findings:
+            return 1
     return 0
 
 
@@ -566,6 +614,7 @@ def build_parser() -> argparse.ArgumentParser:
         default="artifacts",
         help="directory for --timeseries exports (default: artifacts/)",
     )
+    _add_audit(p)
     _add_steps(p)
     p.set_defaults(func=_cmd_report)
 
@@ -673,6 +722,7 @@ def build_parser() -> argparse.ArgumentParser:
     cp.add_argument(
         "--quiet", action="store_true", help="suppress the progress line"
     )
+    _add_audit(cp)
     cp.set_defaults(func=_cmd_campaign_run)
 
     cp = action.add_parser(

@@ -53,3 +53,15 @@ class ConfigurationError(ReproError):
 
 class AnalysisError(ReproError):
     """Raised by the analysis layer for inconsistent measurement records."""
+
+
+class AuditError(ReproError):
+    """Raised by the energy-accounting auditor in strict mode.
+
+    Carries the :class:`~repro.audit.findings.AuditFinding` that tripped
+    it as ``finding`` (``None`` for usage errors inside the auditor).
+    """
+
+    def __init__(self, message: str, finding: object | None = None) -> None:
+        super().__init__(message)
+        self.finding = finding

@@ -42,6 +42,8 @@ class ExperimentResult:
     power_samplers: tuple = ()
     #: Retained telemetry timeline (``timeseries=True`` / collector given).
     timeseries: object | None = None
+    #: :class:`~repro.audit.findings.AuditReport` when auditing was on.
+    audit: object | None = None
 
 
 def functions_for(test_case: TestCaseConfig) -> tuple[str, ...]:
@@ -120,6 +122,7 @@ def run_scaled_experiment(
     fault_kwargs: dict | None = None,
     timeseries: bool = False,
     collector=None,
+    audit: bool | str | None = None,
 ) -> ExperimentResult:
     """Run one paper-scale instrumented job.
 
@@ -146,7 +149,24 @@ def run_scaled_experiment(
     ground-truth traces and noise seeds), so measured per-region energies
     are bit-identical with the collector on or off.  The sampling
     period defaults to ``power_sample_interval_s`` (or 1 s when unset).
+
+    ``audit`` attaches an :class:`~repro.audit.hooks.EnergyAuditor` to
+    the whole stack: ``True``/``"record"`` records invariant violations
+    into ``ExperimentResult.audit``, ``"strict"`` raises
+    :class:`~repro.errors.AuditError` on the first error-severity
+    finding, ``None`` (default) defers to the ``REPRO_AUDIT``
+    environment variable, ``False`` forces auditing off.  The auditor
+    only observes values the pipeline already read, so audited energies
+    are bit-identical to unaudited ones.
     """
+    from repro.audit.hooks import AuditSettings, EnergyAuditor
+
+    audit_settings = AuditSettings.resolve(audit)
+    auditor = (
+        EnergyAuditor(system=system, strict=audit_settings.strict)
+        if audit_settings.enabled
+        else None
+    )
     num_nodes = system.nodes_for_cards(num_cards)
     clock = VirtualClock()
     cluster = Cluster(
@@ -187,6 +207,7 @@ def run_scaled_experiment(
 
             collector = TimeseriesCollector()
         profiler.span_recorder = collector.spans
+    profiler.auditor = auditor
     app = ScaledSphApplication(
         engine=engine,
         profiler=profiler,
@@ -233,6 +254,9 @@ def run_scaled_experiment(
         if collector is not None:
             for node_index, sampler in enumerate(samplers):
                 collector.attach(node_index, sampler)
+        if auditor is not None:
+            for node_index, sampler in enumerate(samplers):
+                auditor.watch_sampler(node_index, sampler)
         for sampler in samplers:
             sampler.start()
 
@@ -248,6 +272,14 @@ def run_scaled_experiment(
     for sampler in samplers:
         sampler.stop()
 
+    audit_report = None
+    if auditor is not None:
+        auditor.audit_run(run)
+        auditor.audit_accounting(run, accounting)
+        if collector is not None:
+            auditor.audit_store(collector.store)
+        audit_report = auditor.report()
+
     return ExperimentResult(
         system=system,
         test_case=test_case,
@@ -257,4 +289,5 @@ def run_scaled_experiment(
         run=run,
         power_samplers=samplers,
         timeseries=collector,
+        audit=audit_report,
     )

@@ -27,6 +27,9 @@ class VirtualClock:
             raise ClockError(f"clock cannot start at negative time {start!r}")
         self._now = float(start)
         self._listeners: list[Callable[[float], None]] = []
+        self._boundary_providers: list[
+            Callable[[float, float], float | None]
+        ] = []
 
     @property
     def now(self) -> float:
@@ -38,11 +41,32 @@ class VirtualClock:
 
         ``dt`` must be non-negative; a zero advance is allowed (it is used
         for instantaneous events such as back-to-back sensor reads).
+
+        When boundary providers are registered, a coarse advance is split
+        into segments: the clock stops at every boundary inside the span,
+        notifying listeners each time, so a listener taking a reading
+        always observes ``now`` equal to its own sampling boundary.  Time
+        still only moves forward — segmentation changes *when* listeners
+        observe the clock, never the final time.
         """
         if dt < 0:
             raise ClockError(f"cannot advance clock by negative dt {dt!r}")
-        if dt > 0:
-            self._now += dt
+        if dt == 0:
+            return self._now
+        target = self._now + dt
+        while self._now < target:
+            stop = target
+            for provider in self._boundary_providers:
+                boundary = provider(self._now, target)
+                if boundary is None:
+                    continue
+                if boundary <= self._now or boundary > target:
+                    raise ClockError(
+                        f"boundary provider returned {boundary!r} outside "
+                        f"({self._now!r}, {target!r}]"
+                    )
+                stop = min(stop, boundary)
+            self._now = stop
             for listener in self._listeners:
                 listener(self._now)
         return self._now
@@ -62,6 +86,22 @@ class VirtualClock:
         must take periodic readings regardless of who advances time.
         """
         self._listeners.append(listener)
+
+    def on_boundary(
+        self, provider: Callable[[float, float], float | None]
+    ) -> None:
+        """Register a sampling-boundary provider.
+
+        ``provider(now, target)`` must return the earliest time in
+        ``(now, target]`` at which its owner needs to observe the clock,
+        or ``None`` when it has no boundary in that span.  During an
+        :meth:`advance`, the clock stops at each returned boundary before
+        notifying listeners, so periodic samplers read their meters *at*
+        the boundary instead of after the full (possibly coarse) jump —
+        the difference between crediting a tick to the segment it belongs
+        to and smearing it onto the advance's end time.
+        """
+        self._boundary_providers.append(provider)
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         return f"VirtualClock(now={self._now:.6f})"

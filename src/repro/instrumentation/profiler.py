@@ -187,6 +187,12 @@ class EnergyProfiler:
         #: observation — no PMT read happens on its behalf, so measured
         #: energies are unchanged).
         self.span_recorder = None
+        #: Optional :class:`~repro.audit.hooks.EnergyAuditor`: when set,
+        #: every node-counter snapshot and closed region is checked
+        #: against the accounting invariants.  Like the span recorder it
+        #: only observes values already read — audited energies are
+        #: bit-identical to unaudited ones.
+        self.auditor = None
 
         self._node_cache: dict[tuple[int, float], dict[str, float]] = {}
         self._open: dict[
@@ -231,6 +237,8 @@ class EnergyProfiler:
             k: v for k, v in self._node_cache.items() if k[0] != node_index
         }
         self._node_cache[key] = out
+        if self.auditor is not None:
+            self.auditor.on_counters(node_index, self.clock.now, out)
         return out
 
     def snapshot(self, rank: int) -> dict[str, float]:
@@ -299,6 +307,8 @@ class EnergyProfiler:
             record = FunctionEnergyRecord(rank=rank, function=function)
             self._records[key] = record
         record.accumulate(self.clock.now - t0, deltas, health)
+        if self.auditor is not None:
+            self.auditor.on_region(rank, function, t0, self.clock.now, deltas)
         if self.span_recorder is not None:
             self.span_recorder.end(rank, function, self.clock.now)
 

@@ -88,6 +88,32 @@ def campaign_health_summary(runs: dict[str, RunMeasurements]) -> str:
     return "\n".join(lines)
 
 
+def campaign_audit_summary(stats) -> str:
+    """The energy-audit section of a campaign summary.
+
+    ``stats`` is the :class:`~repro.campaign.executor.CampaignStats` of
+    an audited :func:`~repro.campaign.executor.execute` call.  One line
+    when every result's books balance; each failing run key otherwise
+    gets its findings listed, so a sweep summary never hides an
+    accounting imbalance inside an aggregate.
+    """
+    if stats.audit_reports is None:
+        return "Energy audit: not run (pass --audit)"
+    if not stats.audit_findings:
+        return (
+            f"Energy audit: ok — {stats.audit_checks} checks over "
+            f"{len(stats.audit_reports)} runs, 0 findings"
+        )
+    lines = [
+        f"Energy audit: {stats.audit_findings} findings over "
+        f"{len(stats.audit_reports)} runs ({stats.audit_checks} checks)"
+    ]
+    for key, report in stats.audit_reports.items():
+        for finding in report.findings:
+            lines.append(f"  {key.label}: {finding.render()}")
+    return "\n".join(lines)
+
+
 def device_report(run: RunMeasurements) -> str:
     """The device-level energy breakdown of one run."""
     # Imported lazily: the analysis package consumes instrumentation

@@ -50,6 +50,14 @@ class RaplPMT(PMT):
         self._last_read: tuple[float, int] | None = None  # (t, unwrapped_uj)
         #: Reads whose interval exceeded the max safe (single-wrap) bound.
         self.suspect_intervals = 0
+        #: Reads that landed exactly on the wrap boundary (raw register
+        #: unchanged over an interval long enough that it must have
+        #: wrapped) — disambiguated from a stuck sensor and credited one
+        #: full register range.
+        self.wrap_boundary_landings = 0
+        self._safe_interval_s = RaplPackage.max_safe_read_interval_s(
+            self._max_watts
+        )
 
     def _raw_uj(self) -> int:
         return int(self._sysfs.read(f"{self._base}/energy_uj"))
@@ -77,6 +85,16 @@ class RaplPMT(PMT):
                 quality = "suspect"
                 warnings.warn(str(exc), stacklevel=2)
                 delta = RaplPackage.unwrap(self._last_raw_uj, raw)
+            if delta > 0 and raw == self._last_raw_uj:
+                # Exact wrap-boundary landing: the register reproduced its
+                # previous value but the interval proves it wrapped.  One
+                # wrap was credited (the minimum consistent history); past
+                # twice the safe interval more wraps are possible, so the
+                # read joins the suspect (possibly-undercounting) class.
+                self.wrap_boundary_landings += 1
+                if elapsed is not None and elapsed > 2 * self._safe_interval_s:
+                    self.suspect_intervals += 1
+                    quality = "suspect"
             self._unwrapped_uj += delta
         self._last_raw_uj = raw
         self._last_raw_t = t

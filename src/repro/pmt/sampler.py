@@ -7,6 +7,14 @@ sampler instead registers a clock listener and takes a sample whenever
 simulated time crosses a sampling boundary.  Because hardware state changes
 only at phase boundaries (which advance the clock), listener-driven
 sampling observes exactly what a free-running thread would.
+
+The sampler also registers a *boundary provider* on the clock: a coarse
+phase advance is split so the clock stops at every sampling boundary it
+crosses, and each catch-up sample therefore reads the meter at its own
+boundary time.  Without this, every tick inside a coarse advance would be
+stamped with the advance's end time and the end-time counter values —
+crediting ticks that belong to one start()/stop() segment (or one
+instrumented region) to the next one.
 """
 
 from __future__ import annotations
@@ -98,6 +106,7 @@ class PmtSampler:
         # a duplicate final row when stop() lands exactly on a boundary.
         self._last_boundary_t: float | None = None
         meter.clock.on_advance(self._on_advance)
+        meter.clock.on_boundary(self._next_boundary)
 
     def start(self) -> None:
         """Begin (or resume) sampling; the first sample is taken immediately.
@@ -158,13 +167,29 @@ class PmtSampler:
                 listener(tick)
         self._tick_index += 1
 
+    def _next_boundary(self, now: float, target: float) -> float | None:
+        """The clock's boundary-provider hook: our next pending boundary.
+
+        Boundary ``k`` sits at ``start + k * interval`` exactly (an
+        integer-tick grid, never repeated addition), so the provider and
+        :meth:`_on_advance` always agree bit-for-bit on boundary times.
+        """
+        if not self._running:
+            return None
+        tick = self._tick
+        boundary = self._start_t + tick * self.interval_s
+        while boundary <= now:  # already consumed (or float fuzz): look ahead
+            tick += 1
+            boundary = self._start_t + tick * self.interval_s
+        return boundary if boundary <= target else None
+
     def _on_advance(self, now: float) -> None:
         if not self._running:
             return
-        # Catch up on every boundary the advance crossed (coarse phases can
-        # skip many sampling intervals at once).  Boundary ``k`` sits at
-        # ``start + k * interval`` exactly, independent of how many samples
-        # were taken before it.
+        # The boundary provider stops each advance at our next boundary, so
+        # normally exactly one boundary is due per notification and the
+        # meter read happens with ``clock.now`` *at* that boundary.  The
+        # loop remains as a backstop for boundaries crossed without a stop.
         while True:
             boundary = self._start_t + self._tick * self.interval_s
             if boundary > now:

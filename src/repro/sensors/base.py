@@ -156,6 +156,30 @@ class SampledEnergyCounter:
             joules=float(joules),
         )
 
+    def read_exact(self, t: float) -> SensorReading:
+        """Read the sensor at ``t`` with the accumulator at full precision.
+
+        Integer-register front-ends (NVML's millijoule counter) must
+        quantize *once*, directly from the exact accumulator, so the
+        sub-quantum residual stays in the accumulator and carries into the
+        next read.  Quantizing an already-quantized float a second time
+        (floor to ``energy_quantum``, then round to integer millijoules)
+        re-rounds the representation error of the first step and can shift
+        single units per read — summed deltas then drift below the
+        integrated power curve on long runs.  The exposed wrap still
+        applies; only the ``energy_quantum`` floor is skipped.
+        """
+        k = self.tick_index(t)
+        self._ensure_ticks(k)
+        joules = self.initial_joules + self._cum_joules[k]
+        if self.wrap_joules is not None:
+            joules = joules % self.wrap_joules
+        return SensorReading(
+            timestamp=k * self.refresh_period_s,
+            watts=float(self._tick_watts[k]),
+            joules=float(joules),
+        )
+
     def true_energy(self, t: float) -> float:
         """Ground-truth energy on ``[0, t]`` (for validation tests)."""
         return self._trace.energy_until(t)

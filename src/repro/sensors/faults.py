@@ -33,6 +33,10 @@ class FrozenCounterFault:
     def read(self, t: float) -> SensorReading:
         return self._inner.read(min(t, self.freeze_at))
 
+    def read_exact(self, t: float) -> SensorReading:
+        """The exact-accumulator read path freezes identically."""
+        return self._inner.read_exact(min(t, self.freeze_at))
+
 
 class DropoutFault:
     """Reads fail entirely inside the outage window (raising SensorError).
@@ -55,6 +59,15 @@ class DropoutFault:
                 f"(outage [{self.outage_start}, {self.outage_end}))"
             )
         return self._inner.read(t)
+
+    def read_exact(self, t: float) -> SensorReading:
+        """The exact-accumulator read path times out identically."""
+        if self.outage_start <= t < self.outage_end:
+            raise SensorError(
+                f"sensor read timed out at t={t:.3f} "
+                f"(outage [{self.outage_start}, {self.outage_end}))"
+            )
+        return self._inner.read_exact(t)
 
 
 class GlitchFault:
@@ -79,7 +92,13 @@ class GlitchFault:
         self._seed = seed
 
     def read(self, t: float) -> SensorReading:
-        reading = self._inner.read(t)
+        return self._glitched(self._inner.read(t), t)
+
+    def read_exact(self, t: float) -> SensorReading:
+        """Exact-accumulator reads see the same glitched power register."""
+        return self._glitched(self._inner.read_exact(t), t)
+
+    def _glitched(self, reading: SensorReading, t: float) -> SensorReading:
         # Deterministic per-timestamp decision (stable across replays).
         unit = (hash((self._seed, round(t * 1e6))) % 10_000) / 10_000.0
         if unit < self.probability:

@@ -16,6 +16,8 @@ CSCS-A100 and miniHPC (in contrast to the MI250X half-card situation).
 
 from __future__ import annotations
 
+import math
+
 from repro.hardware.gpu import GpuCard
 from repro.sensors.base import SampledEnergyCounter, SensorReading
 
@@ -49,8 +51,21 @@ class NvmlGpu:
         return int(round(self.counter.read(t).watts * 1e3))
 
     def total_energy_consumption_mj(self, t: float) -> int:
-        """``nvmlDeviceGetTotalEnergyConsumption``: energy in millijoules."""
-        return int(round(self.counter.read(t).joules * 1e3))
+        """``nvmlDeviceGetTotalEnergyConsumption``: energy in millijoules.
+
+        Quantized *once*, by flooring the exact accumulator: the
+        sub-millijoule residual is carried in the accumulator rather than
+        being discarded per read, so successive reads telescope — summed
+        per-interval deltas equal the full-window delta exactly and stay
+        within one millijoule of the integrated power curve no matter how
+        many reads a run takes.  (The previous floor-to-quantum-then-round
+        double quantization re-rounded float representation error on each
+        independent read.)
+        """
+        exact = self.counter.read_exact(t).joules
+        # The epsilon guards reads landing a float ulp below an exact
+        # integer-millijoule accumulator value.
+        return int(math.floor(exact * 1e3 + 1e-9))
 
     def read(self, t: float) -> SensorReading:
         """Raw counter state (SI units) at time ``t``."""

@@ -104,10 +104,31 @@ class RaplPackage:
         time and the package's maximum plausible power to have such
         intervals rejected — a read interval is safe only while
         ``elapsed_s <= max_safe_read_interval_s(max_power_watts)``.
+
+        A read landing *exactly* on the wrap boundary reproduces the
+        previous raw value: by the register values alone, ``delta == 0``
+        after one full wrap is indistinguishable from a stuck sensor (and
+        used to trip the resilient ladder's stuck-counter path).  The
+        interval disambiguates: ``k`` silent wraps require consuming
+        ``k * max_energy_range`` joules, which at any power up to
+        ``max_power_watts`` takes at least ``k * max_safe_read_interval``
+        seconds — while a package drawing *any* power at all must move the
+        15.3 uJ register within microseconds.  So an unchanged register
+        over ``elapsed_s >= max_safe_read_interval_s`` means (at least)
+        one full wrap, never a freeze; the minimum consistent history —
+        exactly one wrap — is returned.  (For ``elapsed_s`` below twice
+        the safe interval a single wrap is the *only* consistent history;
+        beyond that the caller should flag the read suspect, as it already
+        must for any over-long interval.)
         """
         max_range = int(RAPL_MAX_ENERGY_RANGE_J * 1e6)
+        delta = current_uj - previous_uj
+        if delta < 0:
+            delta += max_range
         if elapsed_s is not None and max_power_watts is not None:
             safe = RaplPackage.max_safe_read_interval_s(max_power_watts)
+            if delta == 0 and elapsed_s >= safe:
+                return max_range  # exact wrap-boundary landing, not a freeze
             if elapsed_s > safe:
                 raise SensorError(
                     f"RAPL read interval {elapsed_s:.1f} s may span more "
@@ -115,7 +136,4 @@ class RaplPackage:
                     f"{max_power_watts:.0f} W is {safe:.1f} s); the "
                     "unwrapped delta would silently undercount"
                 )
-        delta = current_uj - previous_uj
-        if delta < 0:
-            delta += max_range
         return delta

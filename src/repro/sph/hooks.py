@@ -49,11 +49,13 @@ class ProfilingHooks:
         self._stack.append(name)
         for sub in self._subscribers:
             sub.on_enter(name)
-        t0 = time.perf_counter()
+        # Host-side profiling overhead, not simulated time.
+        t0 = time.perf_counter()  # audit-lint: allow[wallclock]
         try:
             yield
         finally:
-            elapsed = time.perf_counter() - t0
+            # Host-side profiling overhead, not simulated time.
+            elapsed = time.perf_counter() - t0  # audit-lint: allow[wallclock]
             self.timings[name] = self.timings.get(name, 0.0) + elapsed
             self.counts[name] = self.counts.get(name, 0) + 1
             for sub in reversed(self._subscribers):

@@ -1,0 +1,151 @@
+"""Tests for the AST-based energy-accounting lint."""
+
+from pathlib import Path
+
+from repro.audit.lint import RULES, LintFinding, lint_paths, lint_source
+
+SRC_ROOT = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+
+def rules_of(source):
+    return [f.rule for f in lint_source(source)]
+
+
+class TestWallclockRule:
+    def test_time_time(self):
+        assert rules_of("import time\nt = time.time()\n") == ["wallclock"]
+
+    def test_perf_counter(self):
+        assert rules_of("import time\nt = time.perf_counter()\n") == [
+            "wallclock"
+        ]
+
+    def test_datetime_now(self):
+        assert rules_of(
+            "from datetime import datetime\nd = datetime.now()\n"
+        ) == ["wallclock"]
+
+    def test_virtual_clock_untouched(self):
+        assert rules_of("t = clock.now\nclock.advance(1.0)\n") == []
+
+    def test_unrelated_attribute_named_time(self):
+        # ``row.time()`` on a non-time object must not be flagged... but a
+        # two-part dotted match cannot tell; the rule keys on the module
+        # name, so only ``time.time()`` exactly is caught.
+        assert rules_of("value = record.elapsed_time()\n") == []
+
+
+class TestRawRandomRule:
+    def test_random_module(self):
+        assert rules_of("import random\nx = random.random()\n") == [
+            "raw-random"
+        ]
+
+    def test_random_choice(self):
+        assert rules_of("import random\nx = random.choice(items)\n") == [
+            "raw-random"
+        ]
+
+    def test_numpy_legacy_global(self):
+        assert rules_of("import numpy as np\nx = np.random.rand(3)\n") == [
+            "raw-random"
+        ]
+
+    def test_seeded_default_rng_allowed(self):
+        src = (
+            "import numpy as np\n"
+            "rng = np.random.default_rng(7)\n"
+            "x = rng.normal()\n"
+        )
+        assert rules_of(src) == []
+
+    def test_generator_methods_allowed(self):
+        assert rules_of("x = np.random.Generator(bitgen)\n") == []
+
+
+class TestFloatEnergyAccumulationRule:
+    def test_watts_times_dt(self):
+        src = "joules = 0.0\nfor w in s:\n    joules += watts * dt\n"
+        assert rules_of(src) == ["float-energy-accumulation"]
+
+    def test_energy_named_target(self):
+        src = "self.energy_j += 0.5 * (w_prev + watts) * (t1 - t0)\n"
+        assert rules_of(src) == ["float-energy-accumulation"]
+
+    def test_counter_difference_allowed(self):
+        assert rules_of("total_joules = j1 - j0\n") == []
+
+    def test_non_power_accumulation_allowed(self):
+        # Summing joule deltas (not power x time) stays legal.
+        assert rules_of("joules += delta_joules\n") == []
+
+
+class TestUnguardedWrapSubtractionRule:
+    def test_raw_uj_difference(self):
+        assert rules_of("delta = raw_uj - last_raw_uj\n") == [
+            "unguarded-wrap-subtraction"
+        ]
+
+    def test_energy_uj_difference(self):
+        assert rules_of("d = current.energy_uj - previous.energy_uj\n") == [
+            "unguarded-wrap-subtraction"
+        ]
+
+    def test_inside_unwrap_allowed(self):
+        src = (
+            "def unwrap(prev_raw_uj, cur_raw_uj):\n"
+            "    return cur_raw_uj - prev_raw_uj\n"
+        )
+        assert rules_of(src) == []
+
+    def test_unrelated_subtraction_allowed(self):
+        assert rules_of("delta = t1 - t0\n") == []
+
+
+class TestSuppression:
+    def test_allow_comment_waives_named_rule(self):
+        src = "import time\nt = time.time()  # audit-lint: allow[wallclock] x\n"
+        assert rules_of(src) == []
+
+    def test_allow_comment_is_rule_specific(self):
+        # A wallclock waiver does not hide a random call on the same line.
+        src = (
+            "import time, random\n"
+            "x = random.random()  # audit-lint: allow[wallclock]\n"
+        )
+        assert rules_of(src) == ["raw-random"]
+
+
+class TestHarness:
+    def test_rule_names_are_stable(self):
+        assert RULES == (
+            "wallclock",
+            "raw-random",
+            "float-energy-accumulation",
+            "unguarded-wrap-subtraction",
+        )
+
+    def test_findings_sorted_and_rendered(self):
+        src = "import time\nb = time.time()\na = time.monotonic()\n"
+        findings = lint_source(src, "mod.py")
+        assert [f.line for f in findings] == [2, 3]
+        assert findings[0].render().startswith("mod.py:2: [wallclock]")
+
+    def test_syntax_error_reported_not_raised(self):
+        findings = lint_source("def broken(:\n", "bad.py")
+        assert findings and "unparseable" in findings[0].message
+
+    def test_lint_paths_over_files_and_dirs(self, tmp_path):
+        clean = tmp_path / "clean.py"
+        clean.write_text("x = 1\n")
+        dirty = tmp_path / "pkg" / "dirty.py"
+        dirty.parent.mkdir()
+        dirty.write_text("import time\nt = time.time()\n")
+        findings = lint_paths([tmp_path])
+        assert [f.rule for f in findings] == ["wallclock"]
+        assert isinstance(findings[0], LintFinding)
+        assert findings[0].path.endswith("dirty.py")
+
+    def test_repo_source_tree_is_clean(self):
+        findings = lint_paths([SRC_ROOT])
+        assert findings == [], "\n".join(f.render() for f in findings)

@@ -1,0 +1,236 @@
+"""Regression tests for the accounting bugs the audit layer flushed out.
+
+Each class pins one fixed bug:
+
+* sampler boundary attribution — catch-up samples are taken *at* their
+  boundary times (the clock segments coarse advances), so per-segment
+  energy sums telescope to the whole-run energy;
+* profile window clipping — per-region stats integrate the partial
+  sampling interval at each window edge instead of dropping it;
+* NVML millijoule counter — the sub-millijoule residual is carried, not
+  truncated per read, so repeated reads don't drift;
+* RAPL wrap landing — a read landing exactly on the wrap boundary is
+  credited one register range instead of tripping the stuck-sensor path.
+"""
+
+import pytest
+
+import repro.pmt as pmt
+from repro.analysis.profile import clip_rows, interpolated_row, profile_stats
+from repro.config import CSCS_A100, LUMI_G
+from repro.errors import AnalysisError, SensorError
+from repro.hardware import Node, VirtualClock
+from repro.pmt import PmtSampler
+from repro.pmt.sampler import SampleRow
+from repro.sensors import NodeTelemetry
+from repro.sensors.rapl import RAPL_MAX_ENERGY_RANGE_J, RaplPackage
+
+
+@pytest.fixture
+def clock():
+    return VirtualClock()
+
+
+@pytest.fixture
+def lumi(clock):
+    node = Node("n0", clock, LUMI_G.node_spec)
+    return node, NodeTelemetry(node, LUMI_G, clock)
+
+
+@pytest.fixture
+def cscs(clock):
+    node = Node("n0", clock, CSCS_A100.node_spec)
+    return node, NodeTelemetry(node, CSCS_A100, clock)
+
+
+class TestSamplerBoundaryAttribution:
+    def test_catchup_rows_land_on_their_boundaries(self, clock, lumi):
+        node, tel = lumi
+        sampler = PmtSampler(pmt.create("cray", telemetry=tel), interval_s=1.0)
+        sampler.start()
+        node.gpus[0].set_load(1.0, 1.0)
+        clock.advance(4.2)  # one coarse advance crossing four boundaries
+        sampler.stop()
+        assert [r.timestamp for r in sampler.rows] == [
+            0.0, 1.0, 2.0, 3.0, 4.0, 4.2,
+        ]
+        # Under load, each boundary must read its *own* counter value —
+        # not the advance-end value repeated (the old behaviour).
+        joules = [r.joules for r in sampler.rows]
+        assert all(b > a for a, b in zip(joules, joules[1:]))
+
+    def test_segment_sums_telescope_to_whole_run_energy(self, clock, lumi):
+        node, tel = lumi
+        meter = pmt.create("cray", telemetry=tel)
+        sampler = PmtSampler(meter, interval_s=1.0)
+        node.gpus[0].set_load(0.8, 0.5)
+
+        sampler.start()
+        clock.advance(2.5)  # stop mid-interval
+        sampler.stop()
+        first_rows = list(sampler.rows)
+
+        sampler.start()  # re-arm immediately: segments are contiguous
+        clock.advance(2.5)
+        sampler.stop()
+        second_rows = sampler.rows[len(first_rows):]
+
+        seg1 = first_rows[-1].joules - first_rows[0].joules
+        seg2 = second_rows[-1].joules - second_rows[0].joules
+        whole = node.energy_between(0.0, 5.0)
+        assert seg1 + seg2 == pytest.approx(whole, rel=1e-6)
+
+    def test_mid_advance_rows_split_region_energy(self, clock, lumi):
+        # A region boundary falling inside a coarse advance gets its
+        # energy split at the sampling boundary, not lumped at the end.
+        node, tel = lumi
+        sampler = PmtSampler(pmt.create("cray", telemetry=tel), interval_s=1.0)
+        sampler.start()
+        node.gpus[0].set_load(1.0, 1.0)
+        clock.advance(3.0)
+        sampler.stop()
+        rows = sampler.rows
+        deltas = [
+            b.joules - a.joules for a, b in zip(rows, rows[1:])
+        ]
+        # Constant load: every full interval carries (nearly) equal energy.
+        assert deltas[0] == pytest.approx(deltas[1], rel=0.05)
+        assert deltas[1] == pytest.approx(deltas[2], rel=0.05)
+
+
+class TestProfileWindowClipping:
+    def _rows(self):
+        # 100 W constant, cumulative joules to match.
+        return [
+            SampleRow(timestamp=float(t), joules=100.0 * t, watts=100.0)
+            for t in range(5)
+        ]
+
+    def test_window_integrates_partial_intervals(self):
+        stats = profile_stats(self._rows(), window=(0.25, 2.75))
+        assert stats.duration_s == pytest.approx(2.5)
+        assert stats.integrated_joules == pytest.approx(250.0)
+        assert stats.counter_joules == pytest.approx(250.0)
+
+    def test_adjacent_windows_tile_their_union(self):
+        rows = self._rows()
+        left = profile_stats(rows, window=(0.0, 1.3))
+        right = profile_stats(rows, window=(1.3, 4.0))
+        whole = profile_stats(rows)
+        assert left.integrated_joules + right.integrated_joules == (
+            pytest.approx(whole.integrated_joules)
+        )
+        assert left.counter_joules + right.counter_joules == (
+            pytest.approx(whole.counter_joules)
+        )
+
+    def test_clip_rows_keeps_inner_samples(self):
+        clipped = clip_rows(self._rows(), 0.5, 3.5)
+        assert [r.timestamp for r in clipped] == [0.5, 1.0, 2.0, 3.0, 3.5]
+
+    def test_interpolation_refuses_extrapolation(self):
+        with pytest.raises(AnalysisError):
+            interpolated_row(self._rows(), -1.0)
+        with pytest.raises(AnalysisError):
+            interpolated_row(self._rows(), 99.0)
+
+    def test_empty_window_rejected(self):
+        with pytest.raises(AnalysisError):
+            clip_rows(self._rows(), 2.0, 2.0)
+
+
+class TestNvmlMillijouleResidual:
+    def test_reads_telescope_without_drift(self, clock, cscs):
+        node, tel = cscs
+        gpu = tel.nvml[0]
+        node.gpus[0].set_load(0.7, 0.4)
+        values = []
+        # Irregular read spacing maximises the truncation exposure.
+        for dt in (0.013, 0.4, 0.0071, 1.3, 0.09, 2.0, 0.033) * 8:
+            clock.advance(dt)
+            values.append(gpu.total_energy_consumption_mj(clock.now))
+        assert values == sorted(values)  # monotone across every read
+        # The final read agrees with the exact accumulator within 1 mJ —
+        # no residual was lost however many reads happened in between.
+        exact_mj = gpu.counter.read_exact(clock.now).joules * 1e3
+        assert abs(values[-1] - exact_mj) <= 1.0
+
+    def test_read_exact_skips_quantization_only(self, clock, cscs):
+        node, tel = cscs
+        gpu = tel.nvml[0]
+        node.gpus[0].set_load(1.0, 1.0)
+        clock.advance(3.0)
+        quantized = gpu.counter.read(clock.now).joules
+        exact = gpu.counter.read_exact(clock.now).joules
+        assert quantized <= exact < quantized + 1e-3  # within one quantum
+
+
+class TestRaplWrapLanding:
+    MAX_UJ = int(RAPL_MAX_ENERGY_RANGE_J * 1e6)
+
+    def test_plain_wraparound(self):
+        assert RaplPackage.unwrap(self.MAX_UJ - 100, 400) == 500
+
+    def test_zero_delta_short_interval_is_zero(self):
+        # Below the safe interval an unchanged register may really be a
+        # freeze; unwrap itself credits nothing (the stuck detector rules).
+        assert (
+            RaplPackage.unwrap(123, 123, elapsed_s=1.0, max_power_watts=200.0)
+            == 0
+        )
+
+    def test_exact_wrap_landing_credits_one_range(self):
+        safe = RaplPackage.max_safe_read_interval_s(200.0)
+        assert (
+            RaplPackage.unwrap(
+                123, 123, elapsed_s=safe, max_power_watts=200.0
+            )
+            == self.MAX_UJ
+        )
+
+    def test_wrap_landing_beats_overlong_interval_rejection(self):
+        # The disambiguation must run before the unsafe-interval rejection:
+        # delta == 0 over a long interval IS the wrap, not an error.
+        safe = RaplPackage.max_safe_read_interval_s(200.0)
+        assert (
+            RaplPackage.unwrap(
+                50, 50, elapsed_s=1.5 * safe, max_power_watts=200.0
+            )
+            == self.MAX_UJ
+        )
+
+    def test_nonzero_delta_overlong_interval_still_rejected(self):
+        safe = RaplPackage.max_safe_read_interval_s(200.0)
+        with pytest.raises(SensorError):
+            RaplPackage.unwrap(
+                50, 51, elapsed_s=1.5 * safe, max_power_watts=200.0
+            )
+
+    def test_backend_counts_wrap_landings_not_suspects(self, clock, cscs):
+        node, tel = cscs
+        meter = pmt.create("rapl", telemetry=tel)
+        meter.read()
+        raws = iter([1_000_000, 1_000_000])
+        meter._raw_uj = lambda: next(raws)
+        safe = meter._safe_interval_s
+        clock.advance(1.2 * safe)
+        with pytest.warns(UserWarning, match="wraparound"):
+            meter.read()  # nonzero delta over an unsafe interval: suspect
+        clock.advance(1.2 * safe)
+        state = meter.read()
+        assert meter.wrap_boundary_landings == 1
+        # Within twice the safe bound the single wrap is certain: quality
+        # stays ok and the suspect counter untouched by the landing.
+        assert state.primary.quality == "ok"
+        assert meter.suspect_intervals == 1  # only the first (1.2x) read
+
+    def test_backend_flags_multiwrap_landing_suspect(self, clock, cscs):
+        node, tel = cscs
+        meter = pmt.create("rapl", telemetry=tel)
+        meter.read()
+        first = meter._raw_uj()
+        meter._raw_uj = lambda: first
+        clock.advance(2.5 * meter._safe_interval_s)
+        state = meter.read()
+        assert meter.wrap_boundary_landings == 1
+        assert state.primary.quality == "suspect"

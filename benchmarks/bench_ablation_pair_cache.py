@@ -29,7 +29,10 @@ def _sweep(n_side: int, steps: int, skins=SKIN_FACTORS):
         ps, box = make_turbulence(n_side=n_side, seed=19)
         rng = np.random.default_rng(19)
         ps.vel = rng.normal(0.0, 0.08, size=ps.vel.shape)
-        prop = Propagator(box, skin_factor=skin)
+        # Pinned to the pairlist engine: this ablation isolates the Verlet
+        # skin of the half-pair pipeline; the CSR engine's scaling has its
+        # own sweep in bench_ablation_neighbor_scaling.py.
+        prop = Propagator(box, skin_factor=skin, engine="pairlist")
         sim = Simulation(ps, prop)
         t0 = time.perf_counter()
         history = sim.run(steps)

@@ -4,13 +4,22 @@ pytest-benchmark timings of the numerical building blocks at a fixed
 problem size, so regressions in the vectorized implementations are
 caught.  These benchmark the *actual solver* (the physics the scaled runs
 stand on), not the simulated cluster.
+
+``bench_solver_kernels_table`` writes the committed
+``ablation_solver_kernels.txt``: per-kernel pairlist timings plus the
+whole-step cost of the CSR/SoA engine (NumPy and, when a toolchain is
+available, the compiled fast path) on one box.
 """
+
+import time
 
 import numpy as np
 import pytest
 from conftest import write_result
 
+from repro.sph import csolver
 from repro.sph.gravity import BarnesHutGravity
+from repro.sph.hooks import ProfilingHooks
 from repro.sph.initial_conditions import make_turbulence
 from repro.sph.neighbors import cell_list_pairs, find_neighbors
 from repro.sph.physics import (
@@ -19,6 +28,7 @@ from repro.sph.physics import (
     compute_momentum_energy,
     ideal_gas_eos,
 )
+from repro.sph.propagator import Propagator
 
 N_SIDE = 16  # 4096 particles
 
@@ -69,6 +79,63 @@ def bench_barnes_hut(benchmark):
 
     acc = benchmark(build_and_evaluate)
     assert np.all(np.isfinite(acc))
+
+
+def _best_of(fn, repeats=5):
+    """Best wall-clock of ``repeats`` calls, in milliseconds."""
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best * 1e3
+
+
+def bench_solver_kernels_table(results_dir):
+    """The committed full result: pairlist kernels + CSR engine steps."""
+    ps, box = make_turbulence(n_side=N_SIDE, seed=5)
+    rng = np.random.default_rng(5)
+    ps.vel = rng.normal(0.0, 0.05, size=ps.vel.shape)
+    pairs = find_neighbors(ps.pos, ps.h, box)
+    ps.nc = pairs.neighbor_counts()
+    compute_density(ps, pairs)
+    ideal_gas_eos(ps)
+    compute_iad_and_divcurl(ps, pairs)
+
+    lines = [
+        f"solver kernels: turbulence n={N_SIDE ** 3}, best-of-5 wall "
+        "clock (ms)",
+        "pairlist kernels:",
+        f"  neighbor_search "
+        f"{_best_of(lambda: cell_list_pairs(ps.pos, ps.h, box)):>9.2f}",
+        f"  density         "
+        f"{_best_of(lambda: compute_density(ps, pairs)):>9.2f}",
+        f"  iad+divcurl     "
+        f"{_best_of(lambda: compute_iad_and_divcurl(ps, pairs)):>9.2f}",
+        f"  momentum+energy "
+        f"{_best_of(lambda: compute_momentum_energy(ps, pairs)):>9.2f}",
+    ]
+
+    accels = ["numpy"] + (["c"] if csolver.load() is not None else [])
+    lines.append("csr engine, steady-state step:")
+    step_ms = {}
+    for accel in accels:
+        ps_e, box_e = make_turbulence(n_side=N_SIDE, seed=5)
+        ps_e.vel = np.random.default_rng(5).normal(
+            0.0, 0.05, size=ps_e.vel.shape
+        )
+        prop = Propagator(box_e, engine="csr", accel=accel)
+        hooks = ProfilingHooks()
+        for _ in range(2):  # build the list, warm the pools
+            prop.step(ps_e, hooks)
+        step_ms[accel] = _best_of(lambda: prop.step(ps_e, hooks))
+        lines.append(f"  accel={accel:<6} {step_ms[accel]:>9.2f}")
+    if "c" not in step_ms:
+        lines.append("  accel=c      skipped (no C toolchain)")
+    else:
+        # The compiled path must actually pay for its complexity.
+        assert step_ms["c"] < step_ms["numpy"]
+    write_result(results_dir, "ablation_solver_kernels", "\n".join(lines))
 
 
 def bench_smoke_solver_kernels(results_dir):

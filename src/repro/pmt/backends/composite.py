@@ -83,6 +83,15 @@ class CompositePMT(PMT):
         """Names of the child meters, in the snapshotted read order."""
         return self._order
 
+    def measurement_names(self) -> tuple[str, ...] | None:
+        names: list[str] = ["total"]
+        for name in self._order:
+            child_names = self._meters[name].measurement_names()
+            if child_names is None:
+                return None
+            names.extend(f"{name}.{m}" for m in child_names)
+        return tuple(names)
+
     def read_state(self) -> State:
         measurements: list[Measurement] = []
         total_joules = 0.0

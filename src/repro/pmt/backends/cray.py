@@ -45,6 +45,9 @@ class CrayPMT(PMT):
         stems += [f"accel{i}" for i in range(len(telemetry.node.cards))]
         self._stems = stems
 
+    def measurement_names(self) -> tuple[str, ...]:
+        return tuple(stem or "node" for stem in self._stems)
+
     def _read_pair(self, stem: str) -> Measurement:
         prefix = f"{PM_COUNTERS_DIR}/{stem}_" if stem else f"{PM_COUNTERS_DIR}/"
         watts, w_unit, _ = parse_pm_file(self._sysfs.read(prefix + "power"))

@@ -21,6 +21,9 @@ class DummyPMT(PMT):
         super().__init__(clock if clock is not None else VirtualClock())
         self.read_count = 0
 
+    def measurement_names(self) -> tuple[str, ...]:
+        return ("dummy",)
+
     def read_state(self) -> State:
         self.read_count += 1
         return State(

@@ -40,6 +40,9 @@ class NvmlPMT(PMT):
         self._device = telemetry.nvml[device_index]
         self._name = f"gpu{device_index}"
 
+    def measurement_names(self) -> tuple[str, ...]:
+        return (self._name,)
+
     def read_state(self) -> State:
         t = self.clock.now
         joules = self._device.total_energy_consumption_mj(t) / 1e3

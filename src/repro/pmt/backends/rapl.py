@@ -62,6 +62,9 @@ class RaplPMT(PMT):
     def _raw_uj(self) -> int:
         return int(self._sysfs.read(f"{self._base}/energy_uj"))
 
+    def measurement_names(self) -> tuple[str, ...]:
+        return ("package-0",)
+
     def read_state(self) -> State:
         t = self.clock.now
         raw = self._raw_uj()

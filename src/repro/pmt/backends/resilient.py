@@ -15,7 +15,11 @@ per-function attribution:
    across advancing time under nonzero load) substitutes extrapolated
    energy flagged ``extrapolated``; instantaneous powers above the
    hardware's plausibility bound are substituted and flagged ``rejected``;
-4. **fail** — only a failure before the very first good read raises.
+4. **zero-baseline** — a failure before the very first good read serves a
+   zero-power, zero-energy state shaped after the inner backend's
+   :meth:`~repro.pmt.base.PMT.measurement_names` (energy accounting is
+   relative, so a zero baseline keeps the run alive while the gap stays
+   on the books); only a shapeless inner meter still raises.
 
 All mitigations are tallied in a :class:`~repro.sensors.resilient.SensorHealth`
 record, which the instrumentation layer surfaces in the run's telemetry
@@ -156,12 +160,36 @@ class ResilientPMT(PMT):
                 return state
         return None
 
+    def measurement_names(self) -> tuple[str, ...] | None:
+        return self.inner.measurement_names()
+
     def _interpolate_state(self, t: float) -> State:
         last = self._last_good
         if last is None:
-            raise SensorError(
-                f"meter {self.label!r} failed with no last good state to "
-                "interpolate from"
+            # An outage covering the very first read: synthesize a zero
+            # baseline in the inner backend's state shape.  Consumers
+            # difference later states against this one, the gap is
+            # counted, and any resulting imbalance is the audit layer's
+            # to flag — a crash here would lose the whole run.
+            names = self.inner.measurement_names()
+            if names is None:
+                raise SensorError(
+                    f"meter {self.label!r} failed before its first good "
+                    "read and does not declare its measurement names"
+                )
+            self.health.gaps_interpolated += 1
+            self.health.degraded = True
+            return State(
+                timestamp=t,
+                measurements=tuple(
+                    Measurement(
+                        name=name,
+                        joules=0.0,
+                        watts=0.0,
+                        quality="interpolated",
+                    )
+                    for name in names
+                ),
             )
         self.health.gaps_interpolated += 1
         if self._prev_t is not None:

@@ -49,6 +49,9 @@ class RocmPMT(PMT):
         self._max_watts = GLITCH_MARGIN * telemetry.node.spec.card_peak_watts
         self.glitches_rejected = 0
 
+    def measurement_names(self) -> tuple[str, ...]:
+        return (self._name,)
+
     def read_state(self) -> State:
         t = self.clock.now
         watts = int(self._sysfs.read(self._path)) * 1e-6

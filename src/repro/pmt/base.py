@@ -39,6 +39,16 @@ class PMT(ABC):
     def read_state(self) -> State:
         """Take one atomic measurement at the current simulated time."""
 
+    def measurement_names(self) -> tuple[str, ...] | None:
+        """The measurement names this meter's states carry, primary first.
+
+        Backends whose state shape is fixed at construction time override
+        this so wrappers (the resilient layer, composites) can synthesize
+        a correctly-shaped substitute state before the first successful
+        read.  ``None`` means the shape is unknown until a read succeeds.
+        """
+        return None
+
     # -- public API -------------------------------------------------------------
 
     def read(self) -> State:

@@ -18,8 +18,11 @@ ladder production telemetry pipelines use:
    clock advances under nonzero load) or an implausible power reading
    (above the hardware's physical maximum) is flagged and substituted, and
    the sensor is marked degraded in its :class:`SensorHealth` record;
-4. **fail** — only when there is no last good value at all does the read
-   raise, because nothing bounded can be reported.
+4. **zero-baseline** — when there is no last good value at all (an outage
+   covering the very first read), serve a zero-power, zero-energy reading
+   instead of raising: accumulators are differenced against this baseline,
+   the gap is counted, and any imbalance is the audit layer's to flag —
+   a crash would lose the whole run.
 
 Every mitigation is counted in :class:`SensorHealth`, which the
 instrumentation layer threads into the run's measurement records so every
@@ -202,8 +205,8 @@ class ResilientSensor:
     # -- the degradation ladder -------------------------------------------------
 
     def read(self, t: float) -> SensorReading:
-        """Read at time ``t``; always returns a reading once one good read
-        has ever been seen (raises only with no fallback state at all)."""
+        """Read at time ``t``; never raises — a failure before any good
+        read degrades to a zero baseline, afterwards to interpolation."""
         self.health.reads += 1
         reading = self._attempt(t)
         if reading is None:
@@ -234,16 +237,20 @@ class ResilientSensor:
 
     def _interpolate(self, t: float) -> SensorReading:
         """Hold-last-good energy extrapolation across a read gap."""
-        last = self._last_good
-        if last is None:
-            raise SensorError(
-                f"sensor {self.label!r} failed with no last good value to "
-                "interpolate from"
-            )
         self.health.gaps_interpolated += 1
         if self._prev_t is not None:
             self.health.gap_seconds += max(0.0, t - self._prev_t)
         self.health.degraded = True
+        last = self._last_good
+        if last is None:
+            # The sensor has never produced a value (an outage covering
+            # the very first read).  Energy accumulators are relative —
+            # consumers difference later reads against this baseline —
+            # so a zero-power, zero-energy reading keeps the run alive
+            # while the gap stays on the books; any resulting energy
+            # imbalance surfaces through the audit layer rather than a
+            # crash that loses the whole run.
+            return SensorReading(timestamp=t, watts=0.0, joules=0.0)
         return SensorReading(
             timestamp=t,
             watts=last.watts,

@@ -75,11 +75,17 @@ class AcctGatherEnergyPlugin:
             reading = tel.slurm_energy_reading(t)
         except SensorError:
             last = self._last_good[node_index]
-            if last is None:
-                # Nothing bounded can be substituted before the first
-                # successful read of this node's counter.
-                raise
             self.degraded_reads += 1
+            if last is None:
+                # An outage covering the very first read of this node's
+                # counter: serve a zero-power, zero-energy baseline rather
+                # than abort the job.  Accounting is differenced against
+                # the baseline, the substitution is counted, and any
+                # resulting imbalance is the audit layer's to flag — real
+                # slurmd keeps the job alive through a dead IPMI too.
+                return EnergySample(
+                    timestamp=t, node_index=node_index, watts=0.0, joules=0.0
+                )
             return EnergySample(
                 timestamp=t,
                 node_index=node_index,

@@ -76,8 +76,14 @@ class DomainDecomposition:
         """Sort ``ps`` along the SFC and (re)compute the rank segments."""
         keys = sfc_keys(ps.pos, self.box)
         order = np.argsort(keys, kind="stable")
-        ps.reorder(order)
-        keys = keys[order]
+        if np.array_equal(order, np.arange(len(order), dtype=order.dtype)):
+            # Already SFC-sorted (the common steady state): skip the
+            # field reorder and report "no relabeling" so per-particle
+            # caches (Verlet label maps) are not invalidated for free.
+            order = None
+        else:
+            ps.reorder(order)
+            keys = keys[order]
 
         leaves = build_cornerstone(keys, self.bucket_size)
         counts = leaf_counts(leaves, keys)

@@ -8,6 +8,15 @@ that consume freshly computed neighbour fields (density before IAD, IAD
 matrices before MomentumEnergy), halo copies are refreshed from their
 owners — the halo exchanges a real MPI run performs.
 
+Each rank builds one flat CSR neighbor list per step (local membership
+changes with the decomposition, so the serial path's cross-step Verlet
+cache does not apply) and restricts it to the owned-row prefix: owned
+particles come first in the local index space, so the restriction is a
+zero-copy slice of the CSR arrays.  One
+:class:`~repro.sph.pair_cache.CsrStepContext` per rank then shares
+kernel values and IAD gradient vectors across every loop function of
+the step, with per-rank scratch pools persisting across steps.
+
 This is the executable proof that the cornerstone decomposition and halo
 discovery are *correct*: the distributed step must reproduce the serial
 step to floating-point reordering tolerance, for any rank count — one of
@@ -25,8 +34,8 @@ from repro.sph.box import Box
 from repro.sph.cornerstone.domain import DomainDecomposition
 from repro.sph.hooks import ProfilingHooks
 from repro.sph.kernels.cubic_spline import CubicSplineKernel
-from repro.sph.neighbors import HalfPairList, PairList, find_neighbors
-from repro.sph.pair_cache import StepContext
+from repro.sph.neighbors import BufferPool, CsrNeighborList, csr_neighbors
+from repro.sph.pair_cache import CsrStepContext
 from repro.sph.particles import ParticleSet
 from repro.sph.physics import (
     compute_density,
@@ -89,9 +98,14 @@ class DistributedHydro:
         courant: float = 0.2,
         bucket_size: int = 32,
         kernel=CubicSplineKernel,
+        accel: str = "numpy",
     ) -> None:
         if n_ranks <= 0:
             raise SimulationError("need at least one rank")
+        from repro.sph import csolver
+
+        self.accel = accel
+        self._cfast = csolver.resolve(accel)
         self.box = box
         self.n_ranks = n_ranks
         self.domain = DomainDecomposition(box, n_ranks, bucket_size)
@@ -102,18 +116,41 @@ class DistributedHydro:
         self.kernel = kernel
         self._step = 0
         self._dt_prev: float | None = None
+        # Per-rank persistent scratch pools: neighbor-build buffers and
+        # kernel-engine buffers.  The CSR views a rank hands its step
+        # context alias its build pool, so pools must not be shared
+        # across ranks (rank B's build would clobber rank A's live
+        # views while the step interleaves the rank loops per region).
+        self._build_pools = [BufferPool() for _ in range(n_ranks)]
+        self._kernel_pools = [BufferPool() for _ in range(n_ranks)]
         #: Per-step communication statistics (appended each step).
         self.comm_history: list[CommStats] = []
 
     # -- local-view plumbing -----------------------------------------------------
 
     def _make_local(self, ps: ParticleSet, local_idx: np.ndarray) -> ParticleSet:
-        """A rank-local copy of the global fields (a halo refresh)."""
+        """A rank-local copy of the global fields (the initial exchange)."""
         lps = ParticleSet(len(local_idx))
         for name in self._LOCAL_FIELDS:
             setattr(lps, name, getattr(ps, name)[local_idx].copy())
         lps.c_iad = ps.c_iad[local_idx].copy()
         return lps
+
+    def _refresh(
+        self,
+        ps: ParticleSet,
+        lps: ParticleSet,
+        local_idx: np.ndarray,
+        fields: tuple[str, ...],
+    ) -> None:
+        """Re-copy freshly computed fields into a rank's local view.
+
+        The owned prefix re-reads the values this rank just scattered
+        back (a no-op in value terms); the halo tail picks up what the
+        owning ranks computed — the halo exchange of a real MPI step.
+        """
+        for name in fields:
+            setattr(lps, name, getattr(ps, name)[local_idx].copy())
 
     def _scatter(
         self,
@@ -127,32 +164,27 @@ class DistributedHydro:
         for name in fields:
             getattr(ps, name)[owned_global] = getattr(lps, name)[:n_owned]
 
-    def _restrict_pairs(self, pairs: PairList, n_owned: int) -> PairList:
-        """Keep only pair rows whose gather target is an owned particle."""
-        keep = pairs.i < n_owned
-        return PairList(
-            i=pairs.i[keep],
-            j=pairs.j[keep],
-            dx=pairs.dx[keep],
-            r=pairs.r[keep],
-            n_particles=pairs.n_particles,
-        )
+    def _restrict_csr(
+        self, csr: CsrNeighborList, n_owned: int
+    ) -> CsrNeighborList:
+        """Keep only the segments whose gather target is an owned particle.
 
-    def _restrict_half(self, pairs: HalfPairList, n_owned: int) -> HalfPairList:
-        """Keep undirected pairs with at least one owned endpoint.
-
-        Owned rows then accumulate *complete* sums (every pair touching an
-        owned particle is present); halo rows may be partial, but only the
-        owned prefix ``[:n_owned]`` is ever scattered back to the global
-        arrays, so the garbage halo sums are never observed.
+        Owned particles are the prefix of the local index space and the
+        exact CSR build groups segments in particle order, so the
+        restriction is a prefix slice — no copies.  Owned rows then
+        accumulate *complete* sums (every pair touching an owned
+        particle is present in its segment); only the owned prefix is
+        ever scattered back, so halo rows are never observed.
         """
-        keep = (pairs.i < n_owned) | (pairs.j < n_owned)
-        return HalfPairList(
-            i=pairs.i[keep],
-            j=pairs.j[keep],
-            dx=pairs.dx[keep],
-            r=pairs.r[keep],
-            n_particles=pairs.n_particles,
+        offsets = csr.offsets[: n_owned + 1]
+        end = int(offsets[-1])
+        return CsrNeighborList(
+            offsets=offsets,
+            indices=csr.indices[:end],
+            row=csr.row[:end],
+            dx=csr.dx[:end],
+            r=csr.r[:end],
+            n_particles=csr.n_particles,
         )
 
     # -- the step -------------------------------------------------------------------
@@ -187,27 +219,40 @@ class DistributedHydro:
             )
 
         with hooks.region("FindNeighbors"):
-            # Each rank searches its local (owned + halo) set once per step
-            # — local membership changes with the decomposition, so the
-            # serial path's cross-step Verlet cache does not apply here —
-            # and shares one StepContext (kernel values, IAD vectors)
-            # across all subsequent loop functions.
-            rank_ctxs: list[StepContext] = []
+            # Each rank builds its local set once per step; subsequent
+            # regions refresh only the fields the preceding function
+            # computed.  The CSR list restricted to owned rows feeds one
+            # step context per rank (kernel values, IAD vectors shared
+            # across all loop functions).
+            locals_: list[ParticleSet] = []
+            rank_ctxs: list[CsrStepContext] = []
+            n_owned_entries = 0
             for rank in range(self.n_ranks):
                 lps = self._make_local(ps, local_idx[rank])
-                half = self._restrict_half(
-                    find_neighbors(lps.pos, lps.h, self.box, half=True),
+                csr = self._restrict_csr(
+                    csr_neighbors(
+                        lps.pos, lps.h, self.box,
+                        pool=self._build_pools[rank],
+                        cfast=self._cfast,
+                    ),
                     n_owned[rank],
                 )
-                rank_ctxs.append(StepContext(half, lps.h, self.kernel))
-                # Owned rows see every pair touching them, so the
-                # undirected degree equals the directed neighbour count.
-                counts = half.neighbor_counts()[: n_owned[rank]]
-                ps.nc[owned_global[rank]] = counts
+                locals_.append(lps)
+                rank_ctxs.append(
+                    CsrStepContext(
+                        csr, lps.h, self.kernel,
+                        pool=self._kernel_pools[rank],
+                        cfast=self._cfast,
+                    )
+                )
+                n_owned_entries += csr.n_pairs
+                # Every directed entry of an owned row is present, so
+                # the segment lengths are the exact neighbour counts.
+                ps.nc[owned_global[rank]] = np.diff(csr.offsets)
 
         with hooks.region("Density"):
             for rank in range(self.n_ranks):
-                lps = self._make_local(ps, local_idx[rank])
+                lps = locals_[rank]
                 compute_density(lps, rank_ctxs[rank], self.kernel)
                 self._scatter(
                     ps, lps, owned_global[rank], n_owned[rank], ("rho",)
@@ -216,7 +261,8 @@ class DistributedHydro:
 
         with hooks.region("EquationOfState"):
             for rank in range(self.n_ranks):
-                lps = self._make_local(ps, local_idx[rank])
+                lps = locals_[rank]
+                self._refresh(ps, lps, local_idx[rank], ("rho",))
                 ideal_gas_eos(lps, self.gamma)
                 self._scatter(
                     ps, lps, owned_global[rank], n_owned[rank], ("p", "c")
@@ -225,7 +271,8 @@ class DistributedHydro:
 
         with hooks.region("IADVelocityDivCurl"):
             for rank in range(self.n_ranks):
-                lps = self._make_local(ps, local_idx[rank])
+                lps = locals_[rank]
+                self._refresh(ps, lps, local_idx[rank], ("p", "c"))
                 compute_iad_and_divcurl(lps, rank_ctxs[rank], self.kernel)
                 self._scatter(
                     ps, lps, owned_global[rank], n_owned[rank],
@@ -239,12 +286,15 @@ class DistributedHydro:
         with hooks.region("MomentumEnergy"):
             v_sig = np.zeros(ps.n)
             for rank in range(self.n_ranks):
-                lps = self._make_local(ps, local_idx[rank])
+                lps = locals_[rank]
+                self._refresh(
+                    ps, lps, local_idx[rank], ("div_v", "curl_v")
+                )
+                # Fresh halo matrices; the new array identity also makes
+                # the context re-derive its IAD vectors from them.
+                lps.c_iad = ps.c_iad[local_idx[rank]].copy()
                 compute_momentum_energy(
                     lps, rank_ctxs[rank], self.kernel, av_alpha=self.av_alpha
-                )
-                self._scatter(
-                    ps, lps, owned_global[rank], n_owned[rank], ()
                 )
                 ps.acc[owned_global[rank]] = lps.acc[: n_owned[rank]]
                 ps.du[owned_global[rank]] = lps.du[: n_owned[rank]]
@@ -281,11 +331,13 @@ class DistributedHydro:
         self.comm_history.append(comm)
         self._dt_prev = dt
         self._step += 1
-        n_pairs = sum(c.pairs.n_pairs for c in rank_ctxs)
+        # Each undirected pair contributes one directed entry to each
+        # endpoint's (uniquely owned) row: the sum of owned-row entries
+        # is exactly twice the global undirected pair count.
         return StepStats(
             step=self._step,
             dt=dt,
-            n_pairs=n_pairs,
+            n_pairs=n_owned_entries // 2,
             mean_neighbors=float(np.mean(ps.nc)),
             totals=totals,
         )

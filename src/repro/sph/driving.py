@@ -100,11 +100,21 @@ class TurbulenceDriver:
         self.state = decay * self.state + kick * complex_noise
         self.state = self._solenoidal_project(self.state)
 
-    def acceleration(self, pos: np.ndarray) -> np.ndarray:
-        """Driving acceleration at the given positions."""
-        phases = np.exp(1j * pos @ self.k_vec.T)  # (n, modes)
+    def acceleration(self, pos: np.ndarray, cfast=None) -> np.ndarray:
+        """Driving acceleration at the given positions.
+
+        ``cfast`` optionally evaluates the mode sum with the compiled
+        fast path (:mod:`repro.sph.csolver`), which needs no O(n x modes)
+        phase matrix; it agrees with the NumPy sum to trig round-off.
+        """
         amp = self.state * self.weights[:, None]  # (modes, 3)
-        acc = np.real(phases @ amp)  # (n, 3)
+        if cfast is not None:
+            from repro.sph import csolver
+
+            acc = csolver.driving_accel(cfast, pos, self.k_vec, amp)
+        else:
+            phases = np.exp(1j * pos @ self.k_vec.T)  # (n, modes)
+            acc = np.real(phases @ amp)  # (n, 3)
         rms = np.sqrt(np.mean(np.sum(acc**2, axis=1))) if len(pos) else 0.0
         if rms > 0:
             acc *= self.amplitude / max(rms, 1e-12)

@@ -1,24 +1,26 @@
-"""Neighbor search: brute force and cell-list implementations.
+"""Neighbor search: flat CSR cell list, legacy pair lists, brute force.
 
-Produces pair lists with separation below the pair cutoff
+Produces neighbor structures with separation below the pair cutoff
 ``2 * max(h_i, h_j)`` — the union support needed by symmetrized SPH sums
-(each term is then masked by its own kernel's compact support).  Two pair
+(each term is then masked by its own kernel's compact support).  Three
 representations exist:
 
+* :class:`CsrNeighborList` — the production structure: flat CSR
+  ``offsets``/``indices`` arrays plus per-entry geometry, grouped by
+  gather target so physics kernels reduce whole segments with
+  ``np.add.reduceat`` instead of scatter-adds.
 * :class:`PairList` — *directed* pairs ``(i, j)`` and ``(j, i)`` both
   present.  This is the oracle representation the tests cross-validate
   against, and the format every physics kernel accepted historically.
-* :class:`HalfPairList` — *undirected* pairs stored once with ``i < j``.
-  Halves pair memory and kernel evaluations; consumers accumulate both
-  gather targets with symmetric scatter-adds (see
-  :mod:`repro.sph.pair_cache`).
+* :class:`HalfPairList` — *undirected* pairs stored once with ``i < j``
+  (the pre-CSR cached path, kept for ablation benchmarking).
 
-The cell list is the production path (``FindNeighbors`` in the SPH-EXA
-function inventory); the O(N^2) brute force is the oracle the tests
-cross-validate against.  Both are fully vectorized: the cell list builds
-candidate pairs per 27-stencil offset with a ``searchsorted`` over
-SFC-sorted cell ids and a repeat/cumsum range-concatenation, no Python
-per-particle loops.
+The cell list is one code path for every particle count: candidates are
+counted and filled *per cell* (all particles in a cell share the same
+stencil), so the per-axis stencil offsets collapse to ``{0}`` or
+``{0, 1}`` on periodic axes with fewer than three cells and the old
+small-box brute-force fallback is gone.  The O(N^2) brute force survives
+only as the test oracle.
 """
 
 from __future__ import annotations
@@ -28,20 +30,49 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import SimulationError
+from repro.sph import csolver
 from repro.sph.box import Box
 from repro.sph.kernels.cubic_spline import SUPPORT_RADIUS
 
-#: Below this particle count ``find_neighbors`` uses the O(N^2) brute
-#: force instead of the cell list.  At small N the brute force's single
-#: fused distance pass beats the cell list's binning/stencil overhead;
-#: the crossover sits near a few hundred particles on NumPy, so 128 keeps
-#: a comfortable margin while still covering every tiny test problem.
-BRUTE_FORCE_MAX_N = 128
-
 #: Cap on the total linked-cell count.  ``coords @ strides`` silently
 #: wraps int64 beyond this, producing wrong (not just slow) pair lists,
-#: so the cell list refuses instead.
+#: so the cell list refuses instead (see :func:`_grid_shape`).
 _MAX_TOTAL_CELLS = 2**62
+
+#: Candidate rows processed per chunk in the cutoff filter.  Bounds the
+#: size of the filter's temporaries to O(chunk), independent of the
+#: total candidate count.
+_FILTER_CHUNK = 1 << 22
+
+
+class BufferPool:
+    """Grow-only pool of named scratch arrays.
+
+    ``get`` returns a view of exactly the requested size over a cached
+    backing buffer that only ever grows (by 25% headroom), so steady-state
+    queries perform no large allocations.  Views are valid until the same
+    name is requested again with a larger size.
+    """
+
+    def __init__(self) -> None:
+        self._bufs: dict[str, np.ndarray] = {}
+
+    def get(self, name: str, size: int, dtype) -> np.ndarray:
+        """A 1-D view of ``size`` elements of the named buffer."""
+        buf = self._bufs.get(name)
+        if buf is None or buf.dtype != np.dtype(dtype) or buf.size < size:
+            cap = size + size // 4 + 16
+            buf = np.empty(cap, dtype=dtype)
+            self._bufs[name] = buf
+        return buf[:size]
+
+    def rows(self, name: str, size: int, width: int, dtype) -> np.ndarray:
+        """A ``(size, width)`` view of the named buffer."""
+        return self.get(name, size * width, dtype).reshape(size, width)
+
+    def nbytes(self) -> int:
+        """Total bytes currently held by the pool (diagnostics)."""
+        return sum(buf.nbytes for buf in self._bufs.values())
 
 
 @dataclass(frozen=True)
@@ -104,6 +135,62 @@ class HalfPairList:
         )
 
 
+@dataclass
+class CsrNeighborList:
+    """Directed neighbors in CSR layout, grouped by gather target.
+
+    Segment ``s`` spans ``indices[offsets[s]:offsets[s+1]]`` — the
+    neighbors of one particle.  ``row[k]`` repeats that particle's index
+    per entry (the gather side of every per-pair term), ``dx[k] =
+    pos[row[k]] - pos[indices[k]]`` (minimum image), ``r[k] = |dx[k]|``.
+
+    ``targets`` maps segment number to particle index; ``None`` means
+    the identity (segment ``s`` belongs to particle ``s``).  A Verlet
+    cache that survives SFC relabelings keeps its segments in *build*
+    order and publishes the current labels through ``targets``/``row``
+    instead of re-sorting the flat arrays every step.
+
+    The arrays may be views into a reused :class:`BufferPool`; they are
+    valid until the producing query runs again.
+    """
+
+    offsets: np.ndarray
+    indices: np.ndarray
+    row: np.ndarray
+    dx: np.ndarray
+    r: np.ndarray
+    n_particles: int
+    targets: np.ndarray | None = None
+
+    @property
+    def n_pairs(self) -> int:
+        """Number of directed neighbor entries."""
+        return len(self.indices)
+
+    def neighbor_counts(self) -> np.ndarray:
+        """Per-particle directed neighbor counts."""
+        counts = np.diff(self.offsets)
+        if self.targets is None:
+            if len(counts) == self.n_particles:
+                return counts
+            out = np.zeros(self.n_particles, dtype=counts.dtype)
+            out[: len(counts)] = counts
+            return out
+        out = np.zeros(self.n_particles, dtype=counts.dtype)
+        out[self.targets] = counts
+        return out
+
+    def to_directed(self) -> PairList:
+        """The equivalent directed :class:`PairList` (test oracle format)."""
+        return PairList(
+            i=self.row.astype(np.int64),
+            j=self.indices.astype(np.int64),
+            dx=self.dx,
+            r=self.r,
+            n_particles=self.n_particles,
+        )
+
+
 def _pair_geometry(
     pos: np.ndarray, h: np.ndarray, box: Box, i: np.ndarray, j: np.ndarray
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
@@ -113,21 +200,6 @@ def _pair_geometry(
     cutoff = SUPPORT_RADIUS * np.maximum(h[i], h[j])
     keep = r2 < cutoff**2
     return i[keep], j[keep], dx[keep], np.sqrt(r2[keep])
-
-
-def _finalize_pairs(
-    pos: np.ndarray,
-    h: np.ndarray,
-    box: Box,
-    i: np.ndarray,
-    j: np.ndarray,
-    half: bool = False,
-) -> PairList | HalfPairList:
-    """Deduplicate/orient candidates, filter by cutoff, build geometry."""
-    keep = (i < j) if half else (i != j)
-    i, j, dx, r = _pair_geometry(pos, h, box, i[keep], j[keep])
-    cls = HalfPairList if half else PairList
-    return cls(i=i, j=j, dx=dx, r=r, n_particles=len(pos))
 
 
 def brute_force_pairs(
@@ -150,17 +222,20 @@ def brute_force_pairs(
     return HalfPairList(i=i, j=j, dx=dx, r=r, n_particles=n).to_directed()
 
 
-def cell_list_pairs(
-    pos: np.ndarray, h: np.ndarray, box: Box, half: bool = False
-) -> PairList | HalfPairList:
-    """Linked-cell neighbor search with a 27-cell stencil."""
-    n = len(pos)
-    if n != len(h):
-        raise SimulationError("pos and h length mismatch")
-    cutoff = SUPPORT_RADIUS * float(np.max(h))
-    if cutoff <= 0:
-        raise SimulationError("non-positive smoothing lengths in neighbor search")
+# -- the CSR cell-list engine --------------------------------------------------
 
+
+def _grid_shape(
+    pos: np.ndarray, cutoff: float, box: Box
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Cell-grid origin, per-axis cell counts and widths.
+
+    The cell width is at least ``cutoff`` (so a 27-stencil suffices) and
+    the total cell count is clamped to O(N): pathologically small
+    smoothing lengths get a coarser — still correct — grid instead of an
+    O(domain/cutoff)^3 memory blow-up.
+    """
+    n = len(pos)
     if box.periodic:
         origin = np.full(3, box.lo)
         extent = np.full(3, box.length)
@@ -173,76 +248,389 @@ def cell_list_pairs(
         origin = lo
         extent = np.maximum(hi - lo, 1e-300)
 
-    ncell = np.maximum((extent / cutoff).astype(np.int64), 1)
-    total_cells = int(ncell[0]) * int(ncell[1]) * int(ncell[2])  # Python ints
-    if total_cells > _MAX_TOTAL_CELLS:
+    raw = np.maximum(np.floor(extent / cutoff), 1.0)
+    if float(raw.prod()) > _MAX_TOTAL_CELLS:
+        dims = tuple(f"{c:.3g}" for c in raw)
+        min_cell = float(np.max(extent)) / (_MAX_TOTAL_CELLS ** (1.0 / 3.0))
         raise SimulationError(
-            f"cell grid {tuple(int(c) for c in ncell)} overflows the int64 "
-            f"cell index: the pair cutoff {cutoff:.3e} is too small for the "
-            f"domain extent {tuple(float(e) for e in np.round(extent, 6))}; "
-            "increase the smoothing lengths or shrink the domain"
+            f"cell grid {dims} overflows the int64 cell index: the pair "
+            f"cutoff {cutoff:.3e} is too small for the domain extent "
+            f"{tuple(float(e) for e in np.round(extent, 6))}; increase the "
+            f"smoothing lengths so the cell size exceeds ~{min_cell:.3e}, "
+            "or shrink the domain"
         )
-    if box.periodic and np.any(ncell < 3):
-        # With fewer than 3 cells per axis the periodic 27-stencil would
-        # visit cells twice; the problem is tiny, brute force is exact.
-        return brute_force_pairs(pos, h, box, half=half)
+    # Clamp the grid to O(N) cells; wider cells stay correct (the
+    # stencil still covers the cutoff) and bound the per-cell arrays.
+    nmax = max(4, int(np.ceil((8.0 * max(n, 1)) ** (1.0 / 3.0))))
+    ncell = np.minimum(raw, nmax).astype(np.int64)
     width = extent / ncell
+    return origin, ncell, width
+
+
+def _axis_offsets(ncell_axis: int, periodic: bool) -> tuple[int, ...]:
+    """Stencil offsets along one axis, deduplicated for small grids.
+
+    With one periodic cell every offset aliases 0; with two, -1 aliases
+    +1.  Visiting each neighbor cell exactly once keeps the candidate
+    list duplicate-free without any brute-force fallback.
+    """
+    if periodic:
+        if ncell_axis == 1:
+            return (0,)
+        if ncell_axis == 2:
+            return (0, 1)
+    return (-1, 0, 1)
+
+
+def _neighbor_cells(ncell: np.ndarray, periodic: bool):
+    """Yield per-cell neighbor ids (flattened) and a validity mask.
+
+    For each stencil offset, an array over *cells* (not particles)
+    giving each cell's neighbor-cell flat id; ``valid`` is ``None`` for
+    periodic boxes (all neighbors exist) or a boolean mask for open-box
+    edge cells.
+    """
+    ax = [np.arange(ncell[d], dtype=np.int64) for d in range(3)]
+    offs = [_axis_offsets(int(ncell[d]), periodic) for d in range(3)]
+    for ox in offs[0]:
+        for oy in offs[1]:
+            for oz in offs[2]:
+                nx, ny, nz = ax[0] + ox, ax[1] + oy, ax[2] + oz
+                if periodic:
+                    nx %= ncell[0]
+                    ny %= ncell[1]
+                    nz %= ncell[2]
+                    valid = None
+                else:
+                    vx = (nx >= 0) & (nx < ncell[0])
+                    vy = (ny >= 0) & (ny < ncell[1])
+                    vz = (nz >= 0) & (nz < ncell[2])
+                    valid = (
+                        vx[:, None, None] & vy[None, :, None] & vz[None, None, :]
+                    ).ravel()
+                    np.clip(nx, 0, ncell[0] - 1, out=nx)
+                    np.clip(ny, 0, ncell[1] - 1, out=ny)
+                    np.clip(nz, 0, ncell[2] - 1, out=nz)
+                nb = (
+                    (nx[:, None, None] * ncell[1] + ny[None, :, None]) * ncell[2]
+                    + nz[None, None, :]
+                ).ravel()
+                yield nb, valid
+
+
+def _cell_bins(
+    pos: np.ndarray, h_search: np.ndarray, box: Box
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Bin particles into the stencil cell grid.
+
+    Returns ``(ncell, flat, order, occ, cellstart)``: per-axis cell
+    counts, each particle's flat cell id, the stable cell-sort
+    permutation, and per-cell occupancy counts / start offsets into it.
+    """
+    cutoff = SUPPORT_RADIUS * float(np.max(h_search))
+    if not np.isfinite(cutoff) or cutoff <= 0:
+        raise SimulationError("non-positive smoothing lengths in neighbor search")
+    origin, ncell, width = _grid_shape(pos, cutoff, box)
+    total_cells = int(ncell[0] * ncell[1] * ncell[2])
 
     coords = np.floor((pos - origin) / width).astype(np.int64)
-    np.clip(coords, 0, ncell - 1, out=coords)
-    strides = np.array(
-        [ncell[1] * ncell[2], ncell[2], 1], dtype=np.int64
-    )
-    flat = coords @ strides
+    if box.periodic:
+        # Unwrapped positions bin to their wrapped cell (exact modulo),
+        # keeping the stencil invariant without requiring callers to
+        # wrap first; the filter's minimum image handles the geometry.
+        coords %= ncell
+    else:
+        np.clip(coords, 0, ncell - 1, out=coords)
+    flat = (coords[:, 0] * ncell[1] + coords[:, 1]) * ncell[2] + coords[:, 2]
 
     order = np.argsort(flat, kind="stable")
-    sorted_flat = flat[order]
+    occ = np.bincount(flat, minlength=total_cells)
+    cellstart = np.zeros(total_cells, dtype=np.int64)
+    np.cumsum(occ[:-1], out=cellstart[1:])
+    return ncell, flat, order, occ, cellstart
 
-    i_parts: list[np.ndarray] = []
-    j_parts: list[np.ndarray] = []
-    all_idx = np.arange(n, dtype=np.int64)
-    for ox in (-1, 0, 1):
-        for oy in (-1, 0, 1):
-            for oz in (-1, 0, 1):
-                ncoords = coords + np.array([ox, oy, oz], dtype=np.int64)
-                if box.periodic:
-                    ncoords %= ncell
-                    valid = np.ones(n, dtype=bool)
-                else:
-                    valid = np.all((ncoords >= 0) & (ncoords < ncell), axis=1)
-                    if not np.any(valid):
-                        continue
-                target = ncoords @ strides
-                start = np.searchsorted(sorted_flat, target, side="left")
-                end = np.searchsorted(sorted_flat, target, side="right")
-                counts = np.where(valid, end - start, 0)
-                total = int(counts.sum())
-                if total == 0:
-                    continue
-                i_rep = np.repeat(all_idx, counts)
-                # Concatenated ranges [start_k, end_k) without Python loops.
-                offsets = np.arange(total) - np.repeat(
-                    np.cumsum(counts) - counts, counts
-                )
-                j_sorted_pos = np.repeat(start, counts) + offsets
-                i_parts.append(i_rep)
-                j_parts.append(order[j_sorted_pos])
 
-    if not i_parts:
-        empty = np.zeros(0, dtype=np.int64)
-        cls = HalfPairList if half else PairList
-        return cls(
-            i=empty, j=empty, dx=np.zeros((0, 3)), r=np.zeros(0), n_particles=n
+def _stencil_counts(
+    ncell: np.ndarray, occ: np.ndarray, flat: np.ndarray, periodic: bool
+) -> np.ndarray:
+    """Per-particle stencil-occupancy counts (the raw candidate counts)."""
+    per_cell = np.zeros(len(occ), dtype=np.int64)
+    for nb, valid in _neighbor_cells(ncell, periodic):
+        contrib = occ[nb]
+        if valid is not None:
+            contrib = np.where(valid, contrib, 0)
+        per_cell += contrib
+    return per_cell[flat]
+
+
+def _csr_filtered_fused(
+    pos: np.ndarray,
+    h_search: np.ndarray,
+    box: Box,
+    pool: BufferPool,
+    cfast,
+    *,
+    want_geometry: bool,
+    out_prefix: str,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray | None, np.ndarray | None]:
+    """Compiled fused candidate generation + exact self-excluding filter.
+
+    Walks each particle's stencil cells in C and applies the cutoff
+    test inline, producing output bitwise identical to
+    :func:`_csr_candidates` + :func:`_filter_candidates` while never
+    materializing the O(27 nnz) raw candidate arrays.  Same return
+    shape as :func:`_filter_candidates`.
+    """
+    n = len(pos)
+    ncell, flat, order, occ, cellstart = _cell_bins(pos, h_search, box)
+    nnz = int(_stencil_counts(ncell, occ, flat, box.periodic).sum())
+    out_row = pool.get(out_prefix + "row", nnz, np.int32)
+    out_cand = pool.get(out_prefix + "cand", nnz, np.int32)
+    out_dx = pool.rows(out_prefix + "dx", nnz, 3, np.float64) if want_geometry else None
+    out_r = pool.get(out_prefix + "r", nnz, np.float64) if want_geometry else None
+    counts = np.zeros(n, dtype=np.int64)
+    pos_c = np.ascontiguousarray(pos, dtype=np.float64)
+    h_c = np.ascontiguousarray(h_search, dtype=np.float64)
+    order32 = order.astype(np.int32)
+    kept = csolver.cell_filter(
+        cfast, pos_c, h_c, box.length, box.periodic, SUPPORT_RADIUS,
+        ncell, flat, order32, cellstart, occ, counts,
+        out_row, out_cand, out_dx, out_r, True,
+    )
+    out_dx = out_dx[:kept] if want_geometry else None
+    out_r = out_r[:kept] if want_geometry else None
+    return counts, out_row[:kept], out_cand[:kept], out_dx, out_r
+
+
+def _csr_candidates(
+    pos: np.ndarray, h_search: np.ndarray, box: Box, pool: BufferPool
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Unfiltered CSR candidates from the cell grid.
+
+    Returns ``(cand_offsets, row, cand)``: for each particle, the
+    occupants of its stencil cells (including itself), counted and
+    filled *per cell* — particles sharing a cell share the stencil, so
+    counting runs over the (much smaller) cell arrays and the fill is a
+    handful of vectorized range concatenations per stencil offset.
+    """
+    n = len(pos)
+    ncell, flat, order, occ, cellstart = _cell_bins(pos, h_search, box)
+    cand_counts = _stencil_counts(ncell, occ, flat, box.periodic)
+    cand_off = pool.get("cs_off", n + 1, np.int64)
+    cand_off[0] = 0
+    np.cumsum(cand_counts, out=cand_off[1:])
+    nnz = int(cand_off[-1])
+
+    cand = pool.get("cs_cand", nnz, np.int32)
+    row = pool.get("cs_row", nnz, np.int32)
+    order32 = order.astype(np.int32)
+    fill = np.zeros(n, dtype=np.int64)
+    for nb, valid in _neighbor_cells(ncell, box.periodic):
+        nbp = nb[flat]
+        lens = occ[nbp]
+        if valid is not None:
+            lens = np.where(valid[flat], lens, 0)
+        total = int(lens.sum())
+        if total:
+            shift = np.cumsum(lens) - lens
+            within = np.arange(total, dtype=np.int64) - np.repeat(shift, lens)
+            dest = np.repeat(cand_off[:-1] + fill, lens) + within
+            src = np.repeat(cellstart[nbp], lens) + within
+            cand[dest] = order32[src]
+        fill += lens
+    row_fill = np.repeat(np.arange(n, dtype=np.int32), cand_counts)
+    row[: len(row_fill)] = row_fill
+    return cand_off, row, cand
+
+
+def _filter_candidates(
+    pos: np.ndarray,
+    h: np.ndarray,
+    box: Box,
+    row: np.ndarray,
+    cand: np.ndarray,
+    pool: BufferPool,
+    *,
+    exclude_self: bool,
+    out_prefix: str,
+    in_place: bool,
+    want_geometry: bool,
+    count_idx: np.ndarray | None = None,
+    cfast=None,
+    label: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray | None, np.ndarray | None]:
+    """Keep candidate rows within the exact union cutoff.
+
+    Processes the flat candidate arrays in constant-size chunks (bounding
+    every temporary to O(chunk)), compacting the survivors — and, when
+    ``want_geometry``, their minimum-image ``dx`` and ``r`` — into pool
+    buffers (or into ``row``/``cand`` themselves when ``in_place``).
+
+    Returns ``(counts, out_row, out_cand, out_dx, out_r)`` where
+    ``counts`` is the per-segment surviving-entry count, binned over
+    ``count_idx`` when given (a Verlet cache counts by *build* label
+    while gathering geometry by current label) and over ``row``
+    otherwise.
+
+    ``cfast`` is an optional :mod:`repro.sph.csolver` library handle; the
+    compiled filter performs the identical IEEE operations in the
+    identical order, so its output is bitwise equal to the NumPy path.
+    ``label`` (compiled path only) translates build-time labels in
+    ``row``/``cand`` to current particle indices on the fly, so the
+    caller need not materialize the translated arrays.
+    """
+    if label is not None and cfast is None:
+        raise SimulationError("label translation requires the compiled filter")
+    n = len(pos)
+    nnz = len(cand)
+    if in_place:
+        out_row, out_cand = row, cand
+    else:
+        out_row = pool.get(out_prefix + "row", nnz, np.int32)
+        out_cand = pool.get(out_prefix + "cand", nnz, np.int32)
+    out_dx = pool.rows(out_prefix + "dx", nnz, 3, np.float64) if want_geometry else None
+    out_r = pool.get(out_prefix + "r", nnz, np.float64) if want_geometry else None
+    counts = np.zeros(n, dtype=np.int64)
+
+    if cfast is not None:
+        cursor = csolver.filter_candidates(
+            cfast,
+            np.ascontiguousarray(pos, dtype=np.float64),
+            np.ascontiguousarray(h, dtype=np.float64),
+            box.length, box.periodic, SUPPORT_RADIUS,
+            row, cand, counts, out_row, out_cand, out_dx, out_r,
+            count_idx, exclude_self, label,
         )
-    return _finalize_pairs(
-        pos, h, box, np.concatenate(i_parts), np.concatenate(j_parts), half=half
+        out_dx = out_dx[:cursor] if want_geometry else None
+        out_r = out_r[:cursor] if want_geometry else None
+        return counts, out_row[:cursor], out_cand[:cursor], out_dx, out_r
+
+    px = [np.ascontiguousarray(pos[:, a]) for a in range(3)]
+    d = [pool.get(f"fc_d{a}", min(nnz, _FILTER_CHUNK), np.float64) for a in range(3)]
+    r2 = pool.get("fc_r2", min(nnz, _FILTER_CHUNK), np.float64)
+    ha = pool.get("fc_ha", min(nnz, _FILTER_CHUNK), np.float64)
+    hb = pool.get("fc_hb", min(nnz, _FILTER_CHUNK), np.float64)
+    inv_len = 1.0 / box.length
+    cursor = 0
+    for start in range(0, nnz, _FILTER_CHUNK):
+        stop = min(start + _FILTER_CHUNK, nnz)
+        m = stop - start
+        rc = row[start:stop]
+        cc = cand[start:stop]
+        r2c = r2[:m]
+        r2c[:] = 0.0
+        for a in range(3):
+            da = d[a][:m]
+            np.take(px[a], rc, out=da, mode="clip")
+            np.subtract(da, px[a][cc], out=da)
+            if box.periodic:
+                t = ha[:m]
+                np.multiply(da, inv_len, out=t)
+                np.rint(t, out=t)
+                t *= -box.length
+                da += t
+            r2c += da * da
+        hac = ha[:m]
+        hbc = hb[:m]
+        np.take(h, rc, out=hac, mode="clip")
+        np.take(h, cc, out=hbc, mode="clip")
+        np.maximum(hac, hbc, out=hac)
+        hac *= SUPPORT_RADIUS
+        hac *= hac
+        keep = r2c < hac
+        if exclude_self:
+            keep &= rc != cc
+        kept_rows = np.compress(keep, rc)
+        k = len(kept_rows)
+        if k:
+            if count_idx is None:
+                counts += np.bincount(kept_rows, minlength=n)
+            else:
+                counts += np.bincount(
+                    np.compress(keep, count_idx[start:stop]), minlength=n
+                )
+            out_row[cursor : cursor + k] = kept_rows
+            out_cand[cursor : cursor + k] = np.compress(keep, cc)
+            if want_geometry:
+                for a in range(3):
+                    out_dx[cursor : cursor + k, a] = np.compress(keep, d[a][:m])
+                np.sqrt(np.compress(keep, r2c), out=out_r[cursor : cursor + k])
+            cursor += k
+    out_dx = out_dx[:cursor] if want_geometry else None
+    out_r = out_r[:cursor] if want_geometry else None
+    return counts, out_row[:cursor], out_cand[:cursor], out_dx, out_r
+
+
+def csr_neighbors(
+    pos: np.ndarray,
+    h: np.ndarray,
+    box: Box,
+    pool: BufferPool | None = None,
+    cfast=None,
+) -> CsrNeighborList:
+    """Exact CSR neighbor search (one code path for every N).
+
+    The returned arrays are views into ``pool`` (a private pool when
+    ``None``), valid until the pool's next search.  ``cfast`` optionally
+    routes the cutoff filter through the compiled fast path (bitwise
+    identical output; see :mod:`repro.sph.csolver`).
+    """
+    n = len(pos)
+    if n != len(h):
+        raise SimulationError("pos and h length mismatch")
+    if pool is None:
+        pool = BufferPool()
+    if cfast is not None:
+        counts, row, cand, dx, r = _csr_filtered_fused(
+            pos, h, box, pool, cfast,
+            want_geometry=True, out_prefix="cs_q",
+        )
+    else:
+        _, row, cand = _csr_candidates(pos, h, box, pool)
+        counts, row, cand, dx, r = _filter_candidates(
+            pos, h, box, row, cand, pool,
+            exclude_self=True, out_prefix="cs_q", in_place=True,
+            want_geometry=True,
+        )
+    offsets = pool.get("cs_qoff", n + 1, np.int64)
+    offsets[0] = 0
+    np.cumsum(counts, out=offsets[1:])
+    return CsrNeighborList(
+        offsets=offsets, indices=cand, row=row, dx=dx, r=r, n_particles=n
+    )
+
+
+def cell_list_pairs(
+    pos: np.ndarray, h: np.ndarray, box: Box, half: bool = False
+) -> PairList | HalfPairList:
+    """Cell-list neighbor search in the legacy pair-list formats.
+
+    A thin adapter over :func:`csr_neighbors` — the CSR engine is the
+    single production code path; this keeps the historical ``PairList``
+    and ``HalfPairList`` consumers (and the ablation baseline) working.
+    """
+    csr = csr_neighbors(pos, h, box)
+    i = csr.row.astype(np.int64)
+    j = csr.indices.astype(np.int64)
+    if half:
+        keep = i < j
+        return HalfPairList(
+            i=i[keep], j=j[keep], dx=csr.dx[keep], r=csr.r[keep],
+            n_particles=len(pos),
+        )
+    return PairList(
+        i=i, j=j, dx=csr.dx.copy(), r=csr.r.copy(), n_particles=len(pos)
     )
 
 
 def find_neighbors(
     pos: np.ndarray, h: np.ndarray, box: Box, half: bool = False
 ) -> PairList | HalfPairList:
-    """The production neighbor search (cell list with brute-force fallback)."""
-    if len(pos) <= BRUTE_FORCE_MAX_N:
-        return brute_force_pairs(pos, h, box, half=half)
+    """The production neighbor search (CSR cell list, pair-list format).
+
+    Formerly dispatched to an O(N^2) brute force below a small-N
+    threshold; the cell list is now the single code path (the per-cell
+    candidate machinery makes it competitive at any N), and the brute
+    force survives only as the test oracle.
+    """
     return cell_list_pairs(pos, h, box, half=half)

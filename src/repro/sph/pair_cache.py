@@ -1,28 +1,35 @@
 """The per-step pair pipeline cache (Verlet skin list + kernel memoization).
 
-Three reuse layers sit between the neighbor search and the physics
-kernels, mirroring how SPH-EXA earns its throughput:
+Two generations of reuse layers sit between the neighbor search and the
+physics kernels, mirroring how SPH-EXA earns its throughput:
 
-* **Half-pair lists** (:class:`~repro.sph.neighbors.HalfPairList`) store
-  each interacting pair once; consumers accumulate both gather targets
-  with the symmetric scatter-adds below.  Pairwise antisymmetry — and so
-  momentum conservation to round-off — is preserved exactly, because the
-  ``i`` and ``j`` contributions of one pair are computed from the same
-  per-pair term.
-* **Verlet skin caching** (:class:`VerletList`): the neighbor search runs
-  with an inflated cutoff ``2 max(h_i, h_j) + skin`` and the candidate
-  list is reused until particles have moved (or smoothing lengths have
-  grown) enough to possibly change the answer — the classic
-  ``max_disp > skin/2`` criterion, extended with an ``h``-growth term so
-  adaptive smoothing lengths can never invalidate the cache silently.
-  Each query re-filters the cached candidates against the *exact*
-  per-pair cutoff, so the returned pair set is identical to a fresh
-  search (the property tests assert this).
-* **Per-step memoization** (:class:`StepContext`): ``W(r, h_i)``,
-  ``W(r, h_j)``, ``dW/dh`` and the IAD gradient vectors ``A_i``/``A_j``
-  are evaluated once per step and shared by ``Density``,
-  ``IADVelocityDivCurl``, ``MomentumEnergy`` and the grad-h correction
-  (previously each consumer re-evaluated them from scratch).
+* **The CSR/SoA engine** (:class:`CsrVerletList` + :class:`CsrStepContext`)
+  — the production hot path.  Neighbors live in a flat CSR structure
+  (:class:`~repro.sph.neighbors.CsrNeighborList`); per-pair kernel values
+  and IAD gradient vectors are evaluated once per step into preallocated,
+  reused buffers; per-particle sums run as *segment reductions*
+  (``np.add.reduceat`` over the CSR offsets) instead of scatter-adds.
+  The skin-cached candidate structure survives the SFC relabeling of
+  ``DomainDecompAndSync`` by composing the per-step permutation into a
+  build-label -> current-label map — an O(N) update — rather than
+  re-sorting the O(N k) flat arrays.  Optionally the per-pair arrays are
+  held in float32 while every segment reduction still accumulates in
+  float64 (``pair_dtype="float32"``); the float64 default is gated by the
+  1e-12 physics-oracle tolerance the tests enforce.
+* **Half-pair lists** (:class:`VerletList` + :class:`StepContext`) — the
+  previous generation, kept as the ablation baseline (`engine="pairlist"`)
+  and exercised by the equivalence tests.  Undirected pairs stored once;
+  consumers accumulate both gather targets with symmetric scatter-adds.
+
+Both Verlet lists implement the same caching contract: the neighbor
+search runs with an inflated cutoff ``2 max(h_i, h_j) + skin`` and the
+candidate list is reused until particles have moved (or smoothing
+lengths have grown) enough to possibly change the answer — the classic
+``max_disp > skin/2`` criterion, extended with an ``h``-growth term so
+adaptive smoothing lengths can never invalidate the cache silently.
+Each query re-filters the cached candidates against the *exact* per-pair
+cutoff, so the returned neighbor set is identical to a fresh search (the
+property tests assert this).
 """
 
 from __future__ import annotations
@@ -31,11 +38,28 @@ import numpy as np
 
 from repro.errors import SimulationError
 from repro.sph.box import Box
-from repro.sph.kernels.cubic_spline import SUPPORT_RADIUS, CubicSplineKernel
-from repro.sph.neighbors import HalfPairList, _pair_geometry, find_neighbors
+from repro.sph.kernels.cubic_spline import (
+    _SIGMA_3D,
+    SUPPORT_RADIUS,
+    CubicSplineKernel,
+)
+from repro.sph.neighbors import (
+    BufferPool,
+    CsrNeighborList,
+    HalfPairList,
+    _csr_candidates,
+    _csr_filtered_fused,
+    _filter_candidates,
+    _pair_geometry,
+    csr_neighbors,
+    find_neighbors,
+)
 
 #: Default Verlet skin, as a fraction of the mean kernel support.
 DEFAULT_SKIN_FACTOR = 0.3
+
+#: Pair-array dtypes the CSR engine accepts.
+_PAIR_DTYPES = {"float64": np.float64, "float32": np.float32}
 
 
 # -- symmetric scatter-add helpers ---------------------------------------------
@@ -89,7 +113,65 @@ def scatter_sum_sym_rows(
     )
 
 
-# -- the Verlet skin list ------------------------------------------------------
+# -- segment-reduction helpers -------------------------------------------------
+
+
+def _nonempty_starts(offsets: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Start positions of the non-empty CSR segments and their numbers.
+
+    ``np.add.reduceat`` returns ``values[start]`` (not 0) for an empty
+    segment, so reductions run over non-empty segments only and scatter
+    the results to their segment numbers.
+    """
+    starts = offsets[:-1]
+    nonempty = starts < offsets[1:]
+    return starts[nonempty], np.flatnonzero(nonempty)
+
+
+def segment_sum(
+    values: np.ndarray, offsets: np.ndarray, n: int,
+    targets: np.ndarray | None = None,
+) -> np.ndarray:
+    """Sum CSR segments into ``n`` float64 bins (empty segments -> 0).
+
+    ``targets`` maps segment number to output bin (identity if None).
+    Accumulation is always float64, regardless of the pair dtype.
+    """
+    idx, seg = _nonempty_starts(offsets)
+    out = np.zeros(n, dtype=np.float64)
+    if len(idx):
+        res = np.add.reduceat(values, idx, dtype=np.float64)
+        out[seg if targets is None else targets[seg]] = res
+    return out
+
+
+def segment_sum_rows(
+    values: np.ndarray, offsets: np.ndarray, n: int,
+    targets: np.ndarray | None = None,
+) -> np.ndarray:
+    """Sum CSR segments of ``(nnz, m)`` rows into ``(n, m)`` float64."""
+    idx, seg = _nonempty_starts(offsets)
+    out = np.zeros((n, values.shape[1]), dtype=np.float64)
+    if len(idx):
+        res = np.add.reduceat(values, idx, axis=0, dtype=np.float64)
+        out[seg if targets is None else targets[seg]] = res
+    return out
+
+
+def segment_max(
+    values: np.ndarray, offsets: np.ndarray, n: int,
+    targets: np.ndarray | None = None,
+) -> np.ndarray:
+    """Per-segment maximum into ``n`` bins (empty segments -> 0)."""
+    idx, seg = _nonempty_starts(offsets)
+    out = np.zeros(n, dtype=np.float64)
+    if len(idx):
+        res = np.maximum.reduceat(values, idx)
+        out[seg if targets is None else targets[seg]] = res
+    return out
+
+
+# -- the Verlet skin list (legacy half-pair generation) ------------------------
 
 
 class VerletList:
@@ -205,7 +287,176 @@ class VerletList:
         self._ref_h = h.copy()
 
 
-# -- the per-step kernel cache -------------------------------------------------
+# -- the CSR Verlet skin list --------------------------------------------------
+
+
+class CsrVerletList:
+    """Skin-cached CSR neighbor lists over preallocated, reused buffers.
+
+    Same caching contract as :class:`VerletList` (see its notes for the
+    rebuild criterion), but the candidate structure is flat CSR and every
+    query compacts the exact survivors into pooled buffers — steady-state
+    queries perform no O(pairs) allocations.
+
+    The candidate arrays are stored in *build labels*.  Each
+    ``reorder(order)`` composes the step's SFC permutation into a
+    build-label -> current-label map (O(N)); queries translate the
+    candidate indices through that map (two flat gathers, only after a
+    relabeling) and publish the segment-to-particle map as
+    ``CsrNeighborList.targets``.  This keeps the skin cache valid across
+    the per-step relabelings without ever re-sorting the flat arrays.
+
+    ``cfast`` optionally routes both the build filter and the per-query
+    exact filter through the compiled fast path (bitwise identical; see
+    :mod:`repro.sph.csolver`).
+    """
+
+    def __init__(
+        self,
+        box: Box,
+        skin_factor: float = DEFAULT_SKIN_FACTOR,
+        cfast=None,
+    ) -> None:
+        if skin_factor < 0:
+            raise SimulationError(
+                f"skin factor must be non-negative, got {skin_factor!r}"
+            )
+        self.box = box
+        self.skin_factor = skin_factor
+        self.cfast = cfast
+        #: Number of candidate-structure (re)builds performed.
+        self.n_builds = 0
+        #: Number of queries served (builds + cache reuses).
+        self.n_queries = 0
+        self.pool = BufferPool()
+        self._row: np.ndarray | None = None  # build labels, per entry
+        self._cand: np.ndarray | None = None  # build labels, per entry
+        self._ref_pos: np.ndarray | None = None  # build order
+        self._ref_h: np.ndarray | None = None  # build order
+        self._cur_label: np.ndarray | None = None  # None = identity
+        self._row_cur: np.ndarray | None = None
+        self._cand_cur: np.ndarray | None = None
+        self._trans_dirty = True
+        self._skin = 0.0
+        self._n = 0
+
+    @property
+    def rebuild_fraction(self) -> float:
+        """Builds per query (1.0 = no amortization yet)."""
+        return self.n_builds / self.n_queries if self.n_queries else 0.0
+
+    def invalidate(self) -> None:
+        """Drop the cached candidate structure (next query rebuilds)."""
+        self._row = None
+        self._cand = None
+        self._ref_pos = None
+        self._ref_h = None
+        self._cur_label = None
+        self._trans_dirty = True
+
+    def reorder(self, order: np.ndarray) -> None:
+        """Follow a particle permutation (``new[k] = old[order[k]]``).
+
+        O(N): the inverse permutation is composed into the label map;
+        the O(N k) candidate arrays are not touched.
+        """
+        if self._row is None:
+            return
+        if len(order) != self._n:
+            self.invalidate()
+            return
+        inverse = np.empty(self._n, dtype=np.int32)
+        inverse[order] = np.arange(self._n, dtype=np.int32)
+        if self._cur_label is None:
+            self._cur_label = inverse
+        else:
+            self._cur_label = inverse[self._cur_label]
+        self._trans_dirty = True
+
+    def query(self, pos: np.ndarray, h: np.ndarray) -> CsrNeighborList:
+        """Exact CSR neighbor list for the current positions and supports.
+
+        The returned arrays are views into this list's buffer pool,
+        valid until the next query.
+        """
+        self.n_queries += 1
+        if self.skin_factor == 0.0:
+            # No skin: every query is a fresh exact search.
+            self.n_builds += 1
+            return csr_neighbors(pos, h, self.box, self.pool, cfast=self.cfast)
+        if self._needs_rebuild(pos, h):
+            self._build(pos, h)
+        label = None
+        if self._cur_label is None:
+            row_cur, cand_cur, count_idx, targets = self._row, self._cand, None, None
+        elif self.cfast is not None:
+            # The compiled filter translates build labels on the fly, so
+            # the two O(nnz) np.take gather passes are never materialized.
+            row_cur, cand_cur, label = self._row, self._cand, self._cur_label
+            count_idx, targets = self._row, self._cur_label
+        else:
+            if self._trans_dirty:
+                nnz = len(self._cand)
+                self._row_cur = self.pool.get("vl_rowc", nnz, np.int32)
+                self._cand_cur = self.pool.get("vl_candc", nnz, np.int32)
+                np.take(self._cur_label, self._row, out=self._row_cur, mode="clip")
+                np.take(self._cur_label, self._cand, out=self._cand_cur, mode="clip")
+                self._trans_dirty = False
+            row_cur, cand_cur = self._row_cur, self._cand_cur
+            count_idx, targets = self._row, self._cur_label
+        counts, qrow, qcand, qdx, qr = _filter_candidates(
+            pos, h, self.box, row_cur, cand_cur, self.pool,
+            exclude_self=False, out_prefix="vl_q", in_place=False,
+            want_geometry=True, count_idx=count_idx, cfast=self.cfast,
+            label=label,
+        )
+        offsets = self.pool.get("vl_qoff", self._n + 1, np.int64)
+        offsets[0] = 0
+        np.cumsum(counts, out=offsets[1:])
+        return CsrNeighborList(
+            offsets=offsets, indices=qcand, row=qrow, dx=qdx, r=qr,
+            n_particles=self._n, targets=targets,
+        )
+
+    def _needs_rebuild(self, pos: np.ndarray, h: np.ndarray) -> bool:
+        if self._row is None or len(pos) != self._n:
+            return True
+        if self._cur_label is None:
+            pos_b, h_b = pos, h
+        else:
+            pos_b = pos[self._cur_label]
+            h_b = h[self._cur_label]
+        drift = self.box.displacement(pos_b - self._ref_pos)
+        effective = np.sqrt(np.einsum("ij,ij->i", drift, drift))
+        effective += SUPPORT_RADIUS * np.maximum(h_b - self._ref_h, 0.0)
+        return bool(effective.max() > 0.5 * self._skin)
+
+    def _build(self, pos: np.ndarray, h: np.ndarray) -> None:
+        self.n_builds += 1
+        self._n = len(pos)
+        self._skin = self.skin_factor * SUPPORT_RADIUS * float(np.mean(h))
+        # Inflating every h by skin/2h-units makes the per-pair candidate
+        # cutoff exactly 2 max(h_i, h_j) + skin.
+        h_search = h + self._skin / SUPPORT_RADIUS
+        if self.cfast is not None:
+            _, self._row, self._cand, _, _ = _csr_filtered_fused(
+                pos, h_search, self.box, self.pool, self.cfast,
+                want_geometry=False, out_prefix="vl_b",
+            )
+        else:
+            _, row, cand = _csr_candidates(pos, h_search, self.box, self.pool)
+            _, self._row, self._cand, _, _ = _filter_candidates(
+                pos, h_search, self.box, row, cand, self.pool,
+                exclude_self=True, out_prefix="vl_b", in_place=True,
+                want_geometry=False,
+            )
+        self._ref_pos = pos.copy()
+        self._ref_h = h.copy()
+        self._cur_label = None
+        self._trans_dirty = True
+
+
+# -- the per-step kernel cache (legacy half-pair generation) -------------------
 
 
 class StepContext:
@@ -297,3 +548,287 @@ class StepContext:
             self._iad = (a_i, a_j)
             self._iad_key = c_iad
         return self._iad
+
+
+# -- the CSR/SoA kernel engine -------------------------------------------------
+
+
+class CsrStepContext:
+    """SoA kernel engine over one step's CSR neighbor list.
+
+    The CSR analogue of :class:`StepContext`: wraps a
+    :class:`~repro.sph.neighbors.CsrNeighborList` and lazily evaluates,
+    once per step into pooled buffers, the per-entry kernel values
+    (``w_own`` = ``W(r, h_row)``, ``w_other`` = ``W(r, h_col)``), the
+    ``dW/dh`` values, and the IAD gradient vectors.  Per-particle sums
+    run as float64 segment reductions over the CSR offsets
+    (:meth:`reduce_sum` / :meth:`reduce_sum_rows` / :meth:`reduce_max`),
+    scattered through the segment-to-particle map when the list's
+    segments are in build order.
+
+    ``pair_dtype`` selects the dtype of the per-entry arrays.  float32
+    halves pair-array bandwidth while reductions still accumulate in
+    float64; the float64 default is what the 1e-12 oracle-equivalence
+    tests gate on (float32 agrees only to ~1e-4 relative).
+
+    For :class:`~repro.sph.kernels.cubic_spline.CubicSplineKernel` the
+    kernel shape is evaluated branchlessly in the buffers via ::
+
+        w(q)  = 0.25 max(2-q, 0)^3 - max(1-q, 0)^3
+        w'(q) = -0.75 max(2-q, 0)^2 + 3 max(1-q, 0)^2
+
+    (algebraically identical to the piecewise definition on [0, 2] and
+    zero beyond); other kernels fall back to their ``value`` method.
+    """
+
+    def __init__(
+        self,
+        csr: CsrNeighborList,
+        h: np.ndarray,
+        kernel=CubicSplineKernel,
+        pool: BufferPool | None = None,
+        pair_dtype: str | np.dtype = "float64",
+        cfast=None,
+    ) -> None:
+        if isinstance(pair_dtype, str):
+            if pair_dtype not in _PAIR_DTYPES:
+                raise SimulationError(
+                    f"pair_dtype must be one of {sorted(_PAIR_DTYPES)}, "
+                    f"got {pair_dtype!r}"
+                )
+            pair_dtype = _PAIR_DTYPES[pair_dtype]
+        self.csr = csr
+        self.h = h
+        self.kernel = kernel
+        self.pool = pool if pool is not None else BufferPool()
+        self.fdtype = np.dtype(pair_dtype)
+        # The compiled physics kernels hardcode the float64 cubic spline;
+        # any other configuration silently stays on the NumPy path.
+        self.cfast = (
+            cfast
+            if self.fdtype == np.float64 and kernel is CubicSplineKernel
+            else None
+        )
+        self.nnz = csr.n_pairs
+        # Reduction plan: non-empty segments and their output particles,
+        # shared by every reduction this step.
+        idx, seg = _nonempty_starts(csr.offsets)
+        self._red_idx = idx
+        self._out_rows = seg if csr.targets is None else csr.targets[seg]
+        self._dx_f: np.ndarray | None = None
+        self._r_f: np.ndarray | None = None
+        self._d: np.ndarray | None = None
+        self._w_own: np.ndarray | None = None
+        self._w_other: np.ndarray | None = None
+        self._dwdh_own: np.ndarray | None = None
+        self._dwdh_other: np.ndarray | None = None
+        self._iad_key: np.ndarray | None = None
+        self._iad: tuple[np.ndarray, np.ndarray] | None = None
+
+    @property
+    def n_particles(self) -> int:
+        return self.csr.n_particles
+
+    @property
+    def row(self) -> np.ndarray:
+        """Gather-target particle index per CSR entry."""
+        return self.csr.row
+
+    @property
+    def col(self) -> np.ndarray:
+        """Neighbor particle index per CSR entry."""
+        return self.csr.indices
+
+    @property
+    def dx_f(self) -> np.ndarray:
+        """``dx`` in the pair dtype (a cast buffer for float32)."""
+        if self.fdtype == np.float64:
+            return self.csr.dx
+        if self._dx_f is None:
+            buf = self.pool.rows("ct_dx32", self.nnz, 3, self.fdtype)
+            buf[:] = self.csr.dx
+            self._dx_f = buf
+        return self._dx_f
+
+    @property
+    def r_f(self) -> np.ndarray:
+        """``r`` in the pair dtype (a cast buffer for float32)."""
+        if self.fdtype == np.float64:
+            return self.csr.r
+        if self._r_f is None:
+            buf = self.pool.get("ct_r32", self.nnz, self.fdtype)
+            buf[:] = self.csr.r
+            self._r_f = buf
+        return self._r_f
+
+    @property
+    def d(self) -> np.ndarray:
+        """``x_col - x_row`` per entry (``-dx``), the IAD direction."""
+        if self._d is None:
+            buf = self.pool.rows("ct_d", self.nnz, 3, self.fdtype)
+            np.negative(self.dx_f, out=buf)
+            self._d = buf
+        return self._d
+
+    # -- gathers ---------------------------------------------------------------
+
+    def _idx(self, side: str) -> np.ndarray:
+        return self.csr.row if side == "row" else self.csr.indices
+
+    def _cast(self, arr: np.ndarray) -> np.ndarray:
+        return arr if arr.dtype == self.fdtype else arr.astype(self.fdtype)
+
+    def gather(self, arr: np.ndarray, side: str, name: str) -> np.ndarray:
+        """Per-entry gather ``arr[row]`` or ``arr[col]`` into a pooled buffer."""
+        buf = self.pool.get(name, self.nnz, self.fdtype)
+        np.take(self._cast(arr), self._idx(side), out=buf, mode="clip")
+        return buf
+
+    def gather_rows(self, arr: np.ndarray, side: str, name: str) -> np.ndarray:
+        """Per-entry gather of ``(n, m)`` rows into a pooled buffer."""
+        m = arr.shape[1]
+        buf = self.pool.rows(name, self.nnz, m, self.fdtype)
+        np.take(self._cast(arr), self._idx(side), axis=0, out=buf, mode="clip")
+        return buf
+
+    def scratch(self, name: str, width: int = 1) -> np.ndarray:
+        """A pooled per-entry scratch array in the pair dtype."""
+        if width == 1:
+            return self.pool.get(name, self.nnz, self.fdtype)
+        return self.pool.rows(name, self.nnz, width, self.fdtype)
+
+    # -- kernel evaluations ----------------------------------------------------
+
+    def _kernel_value(self, side: str, name: str) -> np.ndarray:
+        """``W(r, h_side)`` per entry into the named buffer."""
+        hb = self.gather(self.h, side, name + "_h")
+        out = self.pool.get(name, self.nnz, self.fdtype)
+        if self.kernel is CubicSplineKernel:
+            t1 = self.pool.get(name + "_t", self.nnz, self.fdtype)
+            q = out
+            np.divide(self.r_f, hb, out=q)
+            np.subtract(1.0, q, out=t1)
+            np.maximum(t1, 0.0, out=t1)
+            t1 *= t1 * t1
+            np.subtract(2.0, q, out=q)
+            np.maximum(q, 0.0, out=q)
+            q *= q * q
+            q *= 0.25
+            q -= t1
+            hb *= hb * hb
+            q /= hb
+            q *= _SIGMA_3D
+            return q
+        out[:] = self.kernel.value(self.csr.r, np.take(self.h, self._idx(side)))
+        return out
+
+    def _kernel_dh(self, side: str, name: str) -> np.ndarray:
+        """``dW/dh`` per entry into the named buffer."""
+        out = self.pool.get(name, self.nnz, self.fdtype)
+        if self.kernel is not CubicSplineKernel:
+            from repro.sph.physics.grad_h import kernel_dh
+
+            out[:] = kernel_dh(
+                self.csr.r, np.take(self.h, self._idx(side)), self.kernel
+            )
+            return out
+        hb = self.gather(self.h, side, name + "_h")
+        q = self.pool.get(name + "_q", self.nnz, self.fdtype)
+        t1 = self.pool.get(name + "_t1", self.nnz, self.fdtype)
+        t2 = self.pool.get(name + "_t2", self.nnz, self.fdtype)
+        np.divide(self.r_f, hb, out=q)
+        np.subtract(1.0, q, out=t1)
+        np.maximum(t1, 0.0, out=t1)
+        np.subtract(2.0, q, out=t2)
+        np.maximum(t2, 0.0, out=t2)
+        t1s = t1 * t1
+        t2s = t2 * t2
+        # dw = -0.75 t2^2 + 3 t1^2 ; w = 0.25 t2^3 - t1^3
+        np.multiply(t1s, 3.0, out=out)
+        out -= 0.75 * t2s
+        out *= q  # q * dw
+        t2s *= t2
+        t2s *= 0.25
+        t1s *= t1
+        t2s -= t1s  # w
+        t2s *= 3.0
+        out += t2s  # 3 w + q dw
+        hb *= hb
+        hb *= hb  # h^4
+        out /= hb
+        out *= -_SIGMA_3D
+        return out
+
+    @property
+    def w_own(self) -> np.ndarray:
+        """``W(r, h_row)`` per entry (memoized)."""
+        if self._w_own is None:
+            self._w_own = self._kernel_value("row", "ct_wown")
+        return self._w_own
+
+    @property
+    def w_other(self) -> np.ndarray:
+        """``W(r, h_col)`` per entry (memoized)."""
+        if self._w_other is None:
+            self._w_other = self._kernel_value("col", "ct_woth")
+        return self._w_other
+
+    @property
+    def dwdh_own(self) -> np.ndarray:
+        """``dW/dh`` at ``h_row`` per entry (memoized)."""
+        if self._dwdh_own is None:
+            self._dwdh_own = self._kernel_dh("row", "ct_dhown")
+        return self._dwdh_own
+
+    def iad_vectors(self, c_iad: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """``A_row,k`` and ``A_col,k`` per entry (memoized per matrix set).
+
+        Both point along ``x_col - x_row``, matching the directed-oracle
+        convention; mirrored entries produce exactly negated vectors.
+        """
+        if self._iad is None or self._iad_key is not c_iad:
+            d = self.d
+            c_src = self._cast(c_iad).reshape(len(c_iad), 9)
+            a_own = self.pool.rows("ct_aown", self.nnz, 3, self.fdtype)
+            a_oth = self.pool.rows("ct_aoth", self.nnz, 3, self.fdtype)
+            cb = self.pool.rows("ct_cb", self.nnz, 9, self.fdtype)
+            np.take(c_src, self.csr.row, axis=0, out=cb, mode="clip")
+            np.einsum(
+                "kab,kb->ka", cb.reshape(self.nnz, 3, 3), d, out=a_own
+            )
+            a_own *= self.w_own[:, None]
+            np.take(c_src, self.csr.indices, axis=0, out=cb, mode="clip")
+            np.einsum(
+                "kab,kb->ka", cb.reshape(self.nnz, 3, 3), d, out=a_oth
+            )
+            a_oth *= self.w_other[:, None]
+            self._iad = (a_own, a_oth)
+            self._iad_key = c_iad
+        return self._iad
+
+    # -- segment reductions ----------------------------------------------------
+
+    def reduce_sum(self, values: np.ndarray) -> np.ndarray:
+        """Float64 segment sum to per-particle bins (empty rows -> 0)."""
+        out = np.zeros(self.n_particles, dtype=np.float64)
+        if len(self._red_idx):
+            out[self._out_rows] = np.add.reduceat(
+                values, self._red_idx, dtype=np.float64
+            )
+        return out
+
+    def reduce_sum_rows(self, values: np.ndarray) -> np.ndarray:
+        """Float64 segment sum of ``(nnz, m)`` rows to ``(n, m)``."""
+        out = np.zeros((self.n_particles, values.shape[1]), dtype=np.float64)
+        if len(self._red_idx):
+            out[self._out_rows] = np.add.reduceat(
+                values, self._red_idx, axis=0, dtype=np.float64
+            )
+        return out
+
+    def reduce_max(self, values: np.ndarray) -> np.ndarray:
+        """Per-particle segment maximum (empty rows -> 0)."""
+        out = np.zeros(self.n_particles, dtype=np.float64)
+        if len(self._red_idx):
+            out[self._out_rows] = np.maximum.reduceat(values, self._red_idx)
+        return out

@@ -7,21 +7,33 @@ Gather formulation with each particle's own smoothing length::
 The kernel's compact support makes out-of-range pair terms vanish, so the
 union pair list can be used unmasked.
 
-Accepts either a directed :class:`~repro.sph.neighbors.PairList` (the
-oracle path) or a :class:`~repro.sph.pair_cache.StepContext` over a
-half-pair list, where each undirected pair contributes to both ends in
-one symmetric scatter pass and the kernel values are memoized for the
-rest of the step.
+Accepts a :class:`~repro.sph.pair_cache.CsrStepContext` (the production
+SoA path: one gather, one in-place multiply, one float64 segment
+reduction), a :class:`~repro.sph.pair_cache.StepContext` over a
+half-pair list (the previous cached generation), or a directed
+:class:`~repro.sph.neighbors.PairList` (the oracle path).
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.sph.kernels.cubic_spline import CubicSplineKernel
+from repro.sph import csolver
+from repro.sph.kernels.cubic_spline import _SIGMA_3D, CubicSplineKernel
 from repro.sph.neighbors import PairList
-from repro.sph.pair_cache import StepContext, scatter_sum_sym
+from repro.sph.pair_cache import CsrStepContext, StepContext, scatter_sum_sym
 from repro.sph.particles import ParticleSet
+
+
+def _density_csr(ps: ParticleSet, ctx: CsrStepContext) -> None:
+    if ctx.cfast is not None:
+        rho = csolver.density(ctx.cfast, ctx, ps.mass, _SIGMA_3D)
+    else:
+        contrib = ctx.gather(ps.mass, "col", "ph_mj")
+        contrib *= ctx.w_own
+        rho = ctx.reduce_sum(contrib)
+    rho += ps.mass * ctx.kernel.value(np.zeros(ps.n), ps.h)
+    ps.rho = rho
 
 
 def _density_cached(ps: ParticleSet, ctx: StepContext) -> None:
@@ -41,6 +53,9 @@ def compute_density(
     ps: ParticleSet, pairs: PairList | StepContext, kernel=CubicSplineKernel
 ) -> None:
     """Fill ``ps.rho`` from the pair list."""
+    if isinstance(pairs, CsrStepContext):
+        _density_csr(ps, pairs)
+        return
     if isinstance(pairs, StepContext):
         _density_cached(ps, pairs)
         return

@@ -21,7 +21,7 @@ import numpy as np
 
 from repro.sph.kernels.cubic_spline import CubicSplineKernel, _SIGMA_3D
 from repro.sph.neighbors import PairList
-from repro.sph.pair_cache import StepContext, scatter_sum_sym
+from repro.sph.pair_cache import CsrStepContext, StepContext, scatter_sum_sym
 from repro.sph.particles import ParticleSet
 
 
@@ -41,7 +41,12 @@ def compute_omega(
     raw estimate can stray far from 1, and production codes clamp it the
     same way to keep the equations well-posed.
     """
-    if isinstance(pairs, StepContext):
+    if isinstance(pairs, CsrStepContext):
+        terms = pairs.gather(ps.mass, "col", "ph_ghm")
+        terms *= pairs.dwdh_own
+        sums = pairs.reduce_sum(terms)
+        kernel = pairs.kernel
+    elif isinstance(pairs, StepContext):
         hp = pairs.pairs
         # Each end sums dW/dh at its own smoothing length (memoized).
         sums = scatter_sum_sym(

@@ -25,9 +25,11 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.sph.kernels.cubic_spline import CubicSplineKernel
+from repro.sph import csolver
+from repro.sph.kernels.cubic_spline import _SIGMA_3D, CubicSplineKernel
 from repro.sph.neighbors import PairList
 from repro.sph.pair_cache import (
+    CsrStepContext,
     StepContext,
     scatter_sum,
     scatter_sum_rows,
@@ -69,6 +71,66 @@ def _invert_tau(tau: np.ndarray) -> np.ndarray:
     return np.linalg.inv(tau)
 
 
+def _assemble_tau(entries: np.ndarray, n: int) -> np.ndarray:
+    """The symmetric ``(n, 3, 3)`` tau matrices from their six entries."""
+    tau = np.empty((n, 3, 3), dtype=np.float64)
+    tau[:, 0, 0] = entries[:, 0]
+    tau[:, 0, 1] = tau[:, 1, 0] = entries[:, 1]
+    tau[:, 0, 2] = tau[:, 2, 0] = entries[:, 2]
+    tau[:, 1, 1] = entries[:, 3]
+    tau[:, 1, 2] = tau[:, 2, 1] = entries[:, 4]
+    tau[:, 2, 2] = entries[:, 5]
+    return tau
+
+
+def _iad_and_divcurl_csr(ps: ParticleSet, ctx: CsrStepContext) -> None:
+    if ctx.cfast is not None:
+        entries = csolver.tau(ctx.cfast, ctx, ps.mass, ps.rho, _SIGMA_3D)
+        ps.c_iad = csolver.tau_invert(ctx.cfast, entries)
+        ps.div_v, curl = csolver.divcurl(
+            ctx.cfast, ctx, ps.mass, ps.rho, ps.vel, ps.c_iad, _SIGMA_3D
+        )
+        ps.curl_v = np.linalg.norm(curl, axis=1)
+        return
+
+    d = ctx.d  # x_col - x_row
+
+    # Volume-weighted kernel value per entry, then the six unique tau
+    # entries in one (nnz, 6) buffer and one float64 segment reduction.
+    vol_w = ctx.gather(ps.mass, "col", "ph_vw")
+    vol_w /= ctx.gather(ps.rho, "col", "ph_rj")
+    vol_w *= ctx.w_own
+    geom = ctx.scratch("ph_geom", 6)
+    np.multiply(d[:, 0], d[:, 0], out=geom[:, 0])
+    np.multiply(d[:, 0], d[:, 1], out=geom[:, 1])
+    np.multiply(d[:, 0], d[:, 2], out=geom[:, 2])
+    np.multiply(d[:, 1], d[:, 1], out=geom[:, 3])
+    np.multiply(d[:, 1], d[:, 2], out=geom[:, 4])
+    np.multiply(d[:, 2], d[:, 2], out=geom[:, 5])
+    geom *= vol_w[:, None]
+    ps.c_iad = _invert_tau(_assemble_tau(ctx.reduce_sum_rows(geom), ps.n))
+
+    # Velocity divergence and curl with corrected gradients.
+    a_own, _ = ctx.iad_vectors(ps.c_iad)
+    v_ji = ctx.gather_rows(ps.vel, "col", "ph_vji")
+    v_ji -= ctx.gather_rows(ps.vel, "row", "ph_vrow")
+    m_over_rho = ctx.gather(ps.mass, "col", "ph_mor")
+    m_over_rho /= ctx.gather(ps.rho, "row", "ph_ri")
+    div_terms = ctx.scratch("ph_divt")
+    np.einsum("ka,ka->k", v_ji, a_own, out=div_terms)
+    div_terms *= m_over_rho
+    ps.div_v = ctx.reduce_sum(div_terms)
+    curl = ctx.scratch("ph_curl", 3)
+    np.multiply(v_ji[:, 1], a_own[:, 2], out=curl[:, 0])
+    curl[:, 0] -= v_ji[:, 2] * a_own[:, 1]
+    np.multiply(v_ji[:, 2], a_own[:, 0], out=curl[:, 1])
+    curl[:, 1] -= v_ji[:, 0] * a_own[:, 2]
+    np.multiply(v_ji[:, 0], a_own[:, 1], out=curl[:, 2])
+    curl[:, 2] -= v_ji[:, 1] * a_own[:, 0]
+    curl *= m_over_rho[:, None]
+    ps.curl_v = np.linalg.norm(ctx.reduce_sum_rows(curl), axis=1)
+
+
 def _iad_and_divcurl_cached(ps: ParticleSet, ctx: StepContext) -> None:
     hp = ctx.pairs
     i, j = hp.i, hp.j
@@ -93,14 +155,7 @@ def _iad_and_divcurl_cached(ps: ParticleSet, ctx: StepContext) -> None:
     entries = scatter_sum_sym_rows(
         i, j, geom * vol_w_i[:, None], geom * vol_w_j[:, None], ps.n
     )
-    tau = np.empty((ps.n, 3, 3), dtype=np.float64)
-    tau[:, 0, 0] = entries[:, 0]
-    tau[:, 0, 1] = tau[:, 1, 0] = entries[:, 1]
-    tau[:, 0, 2] = tau[:, 2, 0] = entries[:, 2]
-    tau[:, 1, 1] = entries[:, 3]
-    tau[:, 1, 2] = tau[:, 2, 1] = entries[:, 4]
-    tau[:, 2, 2] = entries[:, 5]
-    ps.c_iad = _invert_tau(tau)
+    ps.c_iad = _invert_tau(_assemble_tau(entries, ps.n))
 
     # Velocity divergence and curl with corrected gradients.  For the
     # mirrored pair both v_ji and A flip sign, so each target's term
@@ -130,6 +185,9 @@ def compute_iad_and_divcurl(
     ps: ParticleSet, pairs: PairList | StepContext, kernel=CubicSplineKernel
 ) -> None:
     """Fill ``ps.c_iad``, ``ps.div_v`` and ``ps.curl_v``."""
+    if isinstance(pairs, CsrStepContext):
+        _iad_and_divcurl_csr(ps, pairs)
+        return
     if isinstance(pairs, StepContext):
         _iad_and_divcurl_cached(ps, pairs)
         return

@@ -33,9 +33,11 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.sph.kernels.cubic_spline import CubicSplineKernel
+from repro.sph import csolver
+from repro.sph.kernels.cubic_spline import _SIGMA_3D, CubicSplineKernel
 from repro.sph.neighbors import PairList
 from repro.sph.pair_cache import (
+    CsrStepContext,
     StepContext,
     scatter_sum,
     scatter_sum_rows,
@@ -88,6 +90,95 @@ def _pair_viscosity(
         0.0,
     )
     return visc, v_sig
+
+
+def _momentum_energy_csr(
+    ps: ParticleSet,
+    ctx: CsrStepContext,
+    av_alpha: float,
+    use_balsara: bool,
+    omega,
+) -> None:
+    if ctx.cfast is not None:
+        if omega is None:
+            pr = ps.p / ps.rho**2
+        else:
+            pr = ps.p / (omega * ps.rho**2)
+        bal = balsara_factor(ps) if use_balsara else None
+        acc, du, v_sig_seg = csolver.momentum(
+            ctx.cfast, ctx, ps.mass, ps.rho, pr, ps.c, bal, ps.vel,
+            np.ascontiguousarray(ps.c_iad), _SIGMA_3D, av_alpha,
+        )
+        ps.acc = acc
+        ps.du = du
+        ps.v_sig_max = np.maximum(v_sig_seg, ps.c)
+        return
+
+    a_own, a_oth = ctx.iad_vectors(ps.c_iad)
+    a_bar = ctx.scratch("ph_abar", 3)
+    np.add(a_own, a_oth, out=a_bar)
+    a_bar *= 0.5
+
+    # Pressure-over-rho^2 per particle, gathered per entry — bitwise the
+    # same values as the oracle's gather-then-divide, at O(N) divisions.
+    if omega is None:
+        pr = ps.p / ps.rho**2
+    else:
+        pr = ps.p / (omega * ps.rho**2)
+    pr_own = ctx.gather(pr, "row", "ph_prown")
+    pr_oth = ctx.gather(pr, "col", "ph_proth")
+
+    v_ij = ctx.gather_rows(ps.vel, "row", "ph_vij")
+    v_ij -= ctx.gather_rows(ps.vel, "col", "ph_vcol")
+
+    # Per-entry AV strength and signal velocity (Monaghan + Balsara).
+    w_pair = ctx.scratch("ph_wpair")
+    np.einsum("ka,ka->k", v_ij, ctx.dx_f, out=w_pair)
+    w_pair /= np.maximum(ctx.r_f, 1e-300)
+    v_sig = ctx.gather(ps.c, "row", "ph_vsig")
+    v_sig += ctx.gather(ps.c, "col", "ph_cj")
+    v_sig -= 3.0 * w_pair
+    rho_bar = ctx.gather(ps.rho, "row", "ph_rbar")
+    rho_bar += ctx.gather(ps.rho, "col", "ph_rhoj")
+    rho_bar *= 0.5
+    visc = ctx.scratch("ph_visc")
+    np.multiply(v_sig, w_pair, out=visc)
+    visc *= -0.5 * av_alpha
+    if use_balsara:
+        bal = balsara_factor(ps)
+        xi = ctx.gather(bal, "row", "ph_xi")
+        xi += ctx.gather(bal, "col", "ph_xij")
+        xi *= 0.5
+        visc *= xi
+    visc /= rho_bar
+    visc[w_pair >= 0.0] = 0.0
+
+    # Force term per entry; the mirrored entry negates every A vector
+    # and keeps the scalar weights, so momentum conserves to round-off.
+    term = ctx.scratch("ph_term", 3)
+    np.multiply(pr_own[:, None], a_own, out=term)
+    term += pr_oth[:, None] * a_oth
+    term += visc[:, None] * a_bar
+    m_j = ctx.gather(ps.mass, "col", "ph_mj2")
+    term *= m_j[:, None]
+    np.negative(term, out=term)
+    ps.acc = ctx.reduce_sum_rows(term)
+
+    # Internal energy rate, oracle formulation per entry.
+    grad_dot_own = ctx.scratch("ph_gdo")
+    np.einsum("ka,ka->k", v_ij, a_own, out=grad_dot_own)
+    grad_dot_bar = ctx.scratch("ph_gdb")
+    np.einsum("ka,ka->k", v_ij, a_bar, out=grad_dot_bar)
+    du = grad_dot_own
+    du *= pr_own
+    grad_dot_bar *= visc
+    grad_dot_bar *= 0.5
+    du += grad_dot_bar
+    du *= m_j
+    ps.du = ctx.reduce_sum(du)
+
+    # Maximum signal velocity per particle, for the CFL condition.
+    ps.v_sig_max = np.maximum(ctx.reduce_max(v_sig), ps.c)
 
 
 def _momentum_energy_cached(
@@ -164,6 +255,9 @@ def compute_momentum_energy(
     become ``P / (Omega rho^2)``.  Pairwise antisymmetry — and therefore
     exact momentum conservation — is preserved either way.
     """
+    if isinstance(pairs, CsrStepContext):
+        _momentum_energy_csr(ps, pairs, av_alpha, use_balsara, omega)
+        return
     if isinstance(pairs, StepContext):
         _momentum_energy_cached(ps, pairs, av_alpha, use_balsara, omega)
         return

@@ -15,9 +15,12 @@ The step pipeline runs over the pair cache layer
 (:mod:`repro.sph.pair_cache`): ``FindNeighbors`` queries a Verlet skin
 list (rebuilt only when particle drift or smoothing-length growth demands
 it, so its cost amortizes across steps) and hands the physics kernels a
-:class:`~repro.sph.pair_cache.StepContext` over an undirected half-pair
-list, in which kernel values and IAD gradient vectors are each evaluated
-once per step and shared by every consumer.
+per-step context in which kernel values and IAD gradient vectors are each
+evaluated once and shared by every consumer.  The default ``engine="csr"``
+runs the flat CSR/SoA pipeline (:class:`~repro.sph.pair_cache.CsrVerletList`
++ :class:`~repro.sph.pair_cache.CsrStepContext`) whose kernel buffers
+persist across steps; ``engine="pairlist"`` keeps the previous half-pair
+generation for ablation comparisons.
 """
 
 from __future__ import annotations
@@ -26,13 +29,21 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.errors import SimulationError
 from repro.sph.box import Box
 from repro.sph.cornerstone.domain import DomainDecomposition
 from repro.sph.driving import TurbulenceDriver
 from repro.sph.gravity import BarnesHutGravity
 from repro.sph.hooks import ProfilingHooks
 from repro.sph.kernels.cubic_spline import CubicSplineKernel
-from repro.sph.pair_cache import DEFAULT_SKIN_FACTOR, StepContext, VerletList
+from repro.sph.neighbors import BufferPool
+from repro.sph.pair_cache import (
+    DEFAULT_SKIN_FACTOR,
+    CsrStepContext,
+    CsrVerletList,
+    StepContext,
+    VerletList,
+)
 from repro.sph.particles import ParticleSet
 from repro.sph.physics import (
     compute_density,
@@ -97,6 +108,21 @@ class Propagator:
     skin_factor:
         Verlet skin width as a fraction of the mean kernel support; 0
         rebuilds the neighbor list every step (the pre-cache behaviour).
+    engine:
+        ``"csr"`` (default) runs the flat CSR/SoA kernel engine;
+        ``"pairlist"`` the previous half-pair generation (ablations).
+    pair_dtype:
+        Dtype of the CSR engine's per-pair arrays (``"float64"`` or
+        ``"float32"``); segment reductions accumulate in float64 either
+        way.  The float64 default is gated by the 1e-12 oracle tolerance.
+    accel:
+        ``"numpy"`` (default) runs the pure-NumPy kernels; ``"auto"``
+        additionally compiles the :mod:`repro.sph.csolver` C fast path
+        when a toolchain is available (falling back silently); ``"c"``
+        requires it.  The compiled neighbor filter is bitwise identical
+        to NumPy's; the compiled physics kernels agree to the 1e-12
+        oracle tolerance (associativity of tiny dot products differs),
+        which is why the portable default stays ``"numpy"``.
     """
 
     def __init__(
@@ -114,7 +140,18 @@ class Propagator:
         use_grad_h: bool = False,
         kernel=CubicSplineKernel,
         skin_factor: float = DEFAULT_SKIN_FACTOR,
+        engine: str = "csr",
+        pair_dtype: str = "float64",
+        accel: str = "numpy",
     ) -> None:
+        if engine not in ("csr", "pairlist"):
+            raise SimulationError(
+                f"engine must be 'csr' or 'pairlist', got {engine!r}"
+            )
+        from repro.sph import csolver
+
+        self.accel = accel
+        self._cfast = csolver.resolve(accel) if engine == "csr" else None
         self.box = box
         self.domain = DomainDecomposition(box, n_ranks)
         self.gamma = gamma
@@ -127,7 +164,16 @@ class Propagator:
         self.gravity_eps = gravity_eps
         self.use_grad_h = use_grad_h
         self.kernel = kernel
-        self.neighbor_list = VerletList(box, skin_factor)
+        self.engine = engine
+        self.pair_dtype = pair_dtype
+        if engine == "csr":
+            self.neighbor_list = CsrVerletList(box, skin_factor, cfast=self._cfast)
+            # Kernel-engine buffers persist across steps (and substeps):
+            # each step's context reuses them instead of reallocating.
+            self._kernel_pool: BufferPool | None = BufferPool()
+        else:
+            self.neighbor_list = VerletList(box, skin_factor)
+            self._kernel_pool = None
         self._step = 0
         self._dt_prev: float | None = None
 
@@ -150,7 +196,14 @@ class Propagator:
             if sync.order is not None:
                 self.neighbor_list.reorder(sync.order)
             pairs = self.neighbor_list.query(ps.pos, ps.h)
-            ctx = StepContext(pairs, ps.h, self.kernel)
+            if self.engine == "csr":
+                ctx = CsrStepContext(
+                    pairs, ps.h, self.kernel,
+                    pool=self._kernel_pool, pair_dtype=self.pair_dtype,
+                    cfast=self._cfast,
+                )
+            else:
+                ctx = StepContext(pairs, ps.h, self.kernel)
             ps.nc = pairs.neighbor_counts()
             rebuilt = self.neighbor_list.n_builds > builds_before
 
@@ -192,7 +245,9 @@ class Propagator:
             with hooks.region("TurbulenceDriving"):
                 dt_drive = self._dt_prev if self._dt_prev else 1e-3
                 self.driver.step(dt_drive)
-                ps.acc = ps.acc + self.driver.acceleration(ps.pos)
+                ps.acc = ps.acc + self.driver.acceleration(
+                    ps.pos, cfast=self._cfast
+                )
 
         with hooks.region("Timestep"):
             dt = compute_timestep(ps, self._dt_prev, courant=self.courant)
@@ -211,10 +266,13 @@ class Propagator:
 
         self._dt_prev = dt
         self._step += 1
+        # CSR stores directed entries; report undirected pairs like the
+        # half-pair engine so stats are comparable across engines.
+        n_pairs = pairs.n_pairs // 2 if self.engine == "csr" else pairs.n_pairs
         return StepStats(
             step=self._step,
             dt=dt,
-            n_pairs=pairs.n_pairs,
+            n_pairs=n_pairs,
             mean_neighbors=float(np.mean(ps.nc)),
             totals=totals,
             neighbors_rebuilt=rebuilt,

@@ -158,11 +158,21 @@ class TestResilientSensorLadder:
             before.joules + before.watts * (6.0 - before.timestamp)
         )
 
-    def test_raises_without_last_good_value(self, counter):
+    def test_zero_baseline_without_last_good_value(self, counter):
+        # An outage covering the very first read cannot crash the run:
+        # the ladder bottoms out at a zero-power, zero-energy baseline
+        # (accumulators are relative), with the gap on the books.
         faulty = DropoutFault(counter, 0.0, 100.0)
         res = ResilientSensor(faulty, label="x")
-        with pytest.raises(SensorError):
-            res.read(1.0)
+        reading = res.read(1.0)
+        assert reading.watts == 0.0
+        assert reading.joules == 0.0
+        assert res.health.gaps_interpolated == 1
+        assert res.health.status == "degraded"
+        # Still held at the zero baseline while the outage lasts.
+        later = res.read(5.0)
+        assert later.joules == 0.0
+        assert res.health.gap_seconds == pytest.approx(4.0)
 
     def test_stuck_counter_detected_and_extrapolated(self, counter):
         faulty = FrozenCounterFault(counter, freeze_at=10.0)

@@ -7,7 +7,6 @@ from hypothesis import given, settings, strategies as st
 from repro.errors import SimulationError
 from repro.sph.box import Box
 from repro.sph.neighbors import (
-    BRUTE_FORCE_MAX_N,
     brute_force_pairs,
     cell_list_pairs,
     find_neighbors,
@@ -101,14 +100,17 @@ class TestNeighborSearch:
         cl = cell_list_pairs(pos, h, box)
         assert pair_set(bf) == pair_set(cl)
 
-    def test_cell_list_small_periodic_box_falls_back(self):
+    def test_cell_list_small_periodic_box_stencil_dedup(self):
+        """Huge cutoffs collapse the grid to 1-2 cells per periodic axis;
+        the deduplicated stencil must keep the candidate list exact (this
+        regime used to fall back to brute force)."""
         box = Box(length=1.0, periodic=True)
         pos, h = random_particles(50, box, 0.25, seed=3)  # huge cutoff
         bf = brute_force_pairs(pos, h, box)
         cl = cell_list_pairs(pos, h, box)
         assert pair_set(bf) == pair_set(cl)
 
-    def test_find_neighbors_dispatch(self):
+    def test_find_neighbors_is_cell_list(self):
         box = Box(length=1.0, periodic=True)
         pos, h = random_particles(200, box, 0.05, seed=4)
         pairs = find_neighbors(pos, h, box)
@@ -137,7 +139,7 @@ class TestNeighborSearch:
     def test_half_list_matches_directed(self):
         """half=True stores each undirected pair exactly once, i < j."""
         box = Box(length=1.0, periodic=True)
-        for n in (BRUTE_FORCE_MAX_N // 2, 4 * BRUTE_FORCE_MAX_N):
+        for n in (64, 512):
             pos, h = random_particles(n, box, 0.07, seed=n)
             full = find_neighbors(pos, h, box)
             half = find_neighbors(pos, h, box, half=True)
@@ -148,10 +150,12 @@ class TestNeighborSearch:
                 half.neighbor_counts(), full.neighbor_counts()
             )
 
-    def test_brute_force_threshold_consistent(self):
-        """Both sides of the dispatch threshold produce the same pairs."""
+    def test_single_code_path_across_sizes(self):
+        """The cell list is the only production path; it must agree with
+        the brute-force oracle at any N (the old small-N dispatch to
+        brute force is gone)."""
         box = Box(length=1.0, periodic=False)
-        for n in (BRUTE_FORCE_MAX_N, BRUTE_FORCE_MAX_N + 1):
+        for n in (2, 8, 128, 513):
             pos, h = random_particles(n, box, 0.1, seed=5)
             assert pair_set(find_neighbors(pos, h, box)) == pair_set(
                 brute_force_pairs(pos, h, box)

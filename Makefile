@@ -1,7 +1,7 @@
 PYTHON ?= python
 PYTEST := PYTHONPATH=src $(PYTHON) -m pytest
 
-.PHONY: test bench bench-smoke bench-campaign bench-faults bench-timeseries audit
+.PHONY: test bench bench-smoke bench-campaign bench-faults bench-timeseries bench-governor audit
 
 # Tier-1: the full unit/integration/property suite.
 test:
@@ -33,6 +33,11 @@ bench-faults:
 # event counts, check byte-identical re-export.
 bench-timeseries:
 	$(PYTEST) benchmarks/bench_timeseries.py -q
+
+# Online DVFS governor: cold min-EDP beats best static on all three
+# systems, power-cap compliance, strict audit — full and smoke variants.
+bench-governor:
+	$(PYTEST) benchmarks/bench_ext_governor.py -q
 
 # Energy-accounting audit: the AST lint over the source tree (exits
 # non-zero on any finding) plus a strict-mode audited measurement run —

@@ -74,6 +74,7 @@ def execute_key(key: RunKey) -> CampaignResult:
         particles_per_rank=key.particles_per_rank,
         seed=key.seed,
         privileged_dvfs=True,
+        governor=key.governor,
     )
     return CampaignResult(
         key=key,

@@ -40,7 +40,7 @@ CACHE_SCHEMA_VERSION = 1
 #: change alters what a run *measures* (solver numerics, power models,
 #: sensor semantics, profiler attribution) without any config field
 #: changing — every cached result is then invalidated at once.
-CODE_VERSION = "1"
+CODE_VERSION = "2"
 
 
 @dataclass(frozen=True)
@@ -55,6 +55,10 @@ class RunKey:
     num_steps: int
     particles_per_rank: float
     seed: int
+    #: Online governor policy steering the run's clocks, or ``None`` for
+    #: the classic fixed-frequency run.  Part of the cache identity: a
+    #: governed run measures something different from a static one.
+    governor: str | None = None
 
     def __post_init__(self) -> None:
         if self.num_cards <= 0:
@@ -63,14 +67,24 @@ class RunKey:
             raise ConfigurationError("num_steps must be positive")
         if self.particles_per_rank <= 0:
             raise ConfigurationError("particles_per_rank must be positive")
+        if self.governor is not None:
+            from repro.tuning.governor import GOVERNOR_POLICIES
+
+            if self.governor not in GOVERNOR_POLICIES:
+                raise ConfigurationError(
+                    f"unknown governor policy {self.governor!r}; "
+                    f"available: {GOVERNOR_POLICIES}"
+                )
 
     @property
     def label(self) -> str:
         """Compact human-readable identity for progress and summaries."""
         freq = "default" if self.gpu_freq_mhz is None else f"{self.gpu_freq_mhz:.0f}MHz"
+        gov = "" if self.governor is None else f"/{self.governor}"
         return (
             f"{self.system}/{self.test_case}/{self.num_cards}c/{freq}/"
             f"{self.particles_per_rank:.0f}ppr/{self.num_steps}s/seed{self.seed}"
+            f"{gov}"
         )
 
 
@@ -85,6 +99,7 @@ def sort_key(key: RunKey) -> tuple:
         key.particles_per_rank,
         key.num_steps,
         key.seed,
+        key.governor or "",
     )
 
 

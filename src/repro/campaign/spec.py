@@ -37,6 +37,11 @@ class CampaignSpec:
     #: Steps per run; ``None`` resolves to the case's paper value.
     num_steps: int | None = None
     seeds: tuple[int, ...] = (0,)
+    #: Online governor policy applied to every run (``None`` = static
+    #: clocks).  A scalar, not an axis: sweeps compare governed against
+    #: static runs by running two campaigns, which keeps the cache
+    #: identity of classic campaigns untouched.
+    governor: str | None = None
 
     def __post_init__(self) -> None:
         # Tolerate lists from CLI argument parsing.
@@ -97,6 +102,7 @@ def expand(spec: CampaignSpec) -> tuple[RunKey, ...]:
                                     num_steps=steps,
                                     particles_per_rank=float(resolved),
                                     seed=seed,
+                                    governor=spec.governor,
                                 )
                             )
     if len(set(keys)) != len(keys):

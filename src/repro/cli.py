@@ -199,6 +199,13 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
     system = get_system(args.system)
     test_case = TEST_CASES[args.case]
+    governor = None
+    if args.governor is not None:
+        from repro.tuning.governor import GovernorConfig
+
+        governor = GovernorConfig.for_system(
+            args.governor, system, power_cap_watts=args.power_cap
+        )
     result = run_scaled_experiment(
         system,
         test_case,
@@ -209,6 +216,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
         fault_target=args.fault_target,
         timeseries=args.timeseries,
         audit=_audit_mode(args),
+        governor=governor,
     )
     print(sacct_report([result.accounting]))
     print()
@@ -218,6 +226,11 @@ def _cmd_report(args: argparse.Namespace) -> int:
     if result.run.telemetry_health:
         print()
         print(health_report(result.run))
+    if result.governor is not None:
+        from repro.instrumentation.reporting import governor_report
+
+        print()
+        print(governor_report(result.governor))
     point = validate_pmt_against_slurm(result.run, result.accounting, args.cards)
     print(f"\nPMT/Slurm = {point.ratio:.3f} (quality: {point.quality})")
     if result.audit is not None:
@@ -342,37 +355,51 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
 def _campaign_spec(args: argparse.Namespace):
     """Build the declarative spec of the selected named sweep."""
+    from dataclasses import replace
+
     from repro.experiments.frequency import figure4_spec, figure5_spec
     from repro.experiments.scaling import weak_scaling_spec
     from repro.experiments.validation import figure1_spec
 
+    def _governed(spec):
+        governor = getattr(args, "governor", None)
+        return spec if governor is None else replace(spec, governor=governor)
+
     if args.sweep == "fig4":
-        return figure4_spec(
-            cube_sides=tuple(args.sides),
-            freqs_mhz=tuple(float(f) for f in args.freqs),
-            num_steps=args.steps,
-            seed=args.seed,
+        return _governed(
+            figure4_spec(
+                cube_sides=tuple(args.sides),
+                freqs_mhz=tuple(float(f) for f in args.freqs),
+                num_steps=args.steps,
+                seed=args.seed,
+            )
         )
     if args.sweep == "fig5":
-        return figure5_spec(
-            freqs_mhz=tuple(float(f) for f in args.freqs),
-            cube_side=args.side,
-            num_steps=args.steps,
-            seed=args.seed,
+        return _governed(
+            figure5_spec(
+                freqs_mhz=tuple(float(f) for f in args.freqs),
+                cube_side=args.side,
+                num_steps=args.steps,
+                seed=args.seed,
+            )
         )
     if args.sweep == "fig1":
-        return figure1_spec(
-            get_system(args.system),
-            tuple(args.cards),
-            num_steps=args.steps,
-            seed=args.seed,
+        return _governed(
+            figure1_spec(
+                get_system(args.system),
+                tuple(args.cards),
+                num_steps=args.steps,
+                seed=args.seed,
+            )
         )
     # weak-scaling
-    return weak_scaling_spec(
-        get_system(args.system),
-        tuple(args.cards),
-        num_steps=args.steps if args.steps is not None else 100,
-        seed=args.seed,
+    return _governed(
+        weak_scaling_spec(
+            get_system(args.system),
+            tuple(args.cards),
+            num_steps=args.steps if args.steps is not None else 100,
+            seed=args.seed,
+        )
     )
 
 
@@ -614,6 +641,19 @@ def build_parser() -> argparse.ArgumentParser:
         default="artifacts",
         help="directory for --timeseries exports (default: artifacts/)",
     )
+    p.add_argument(
+        "--governor",
+        default=None,
+        choices=["min-energy", "min-edp", "power-cap"],
+        help="steer GPU clocks online with the energy-aware governor",
+    )
+    p.add_argument(
+        "--power-cap",
+        type=float,
+        default=None,
+        help="rolling node-power budget in watts for --governor power-cap "
+        "(default: 80%% of the node's nominal peak)",
+    )
     _add_audit(p)
     _add_steps(p)
     p.set_defaults(func=_cmd_report)
@@ -704,6 +744,13 @@ def build_parser() -> argparse.ArgumentParser:
         )
         cp.add_argument(
             "--cards", nargs="+", type=int, default=[8, 16, 24, 32, 40, 48]
+        )
+        cp.add_argument(
+            "--governor",
+            default=None,
+            choices=["min-energy", "min-edp", "power-cap"],
+            help="run every point under the online governor "
+            "(part of the cache identity)",
         )
 
     cp = action.add_parser("run", help="execute a sweep (cache misses only)")

@@ -44,6 +44,8 @@ class ExperimentResult:
     timeseries: object | None = None
     #: :class:`~repro.audit.findings.AuditReport` when auditing was on.
     audit: object | None = None
+    #: :class:`~repro.tuning.governor.GovernorReport` for governed runs.
+    governor: object | None = None
 
 
 def functions_for(test_case: TestCaseConfig) -> tuple[str, ...]:
@@ -123,6 +125,7 @@ def run_scaled_experiment(
     timeseries: bool = False,
     collector=None,
     audit: bool | str | None = None,
+    governor=None,
 ) -> ExperimentResult:
     """Run one paper-scale instrumented job.
 
@@ -158,6 +161,16 @@ def run_scaled_experiment(
     environment variable, ``False`` forces auditing off.  The auditor
     only observes values the pipeline already read, so audited energies
     are bit-identical to unaudited ones.
+
+    ``governor`` runs the job under the online DVFS governor: a policy
+    name (``min-energy``/``min-edp``/``power-cap``, resolved with the
+    system defaults) or a full
+    :class:`~repro.tuning.governor.GovernorConfig`.  The governor taps
+    the profiler's region completions and the per-node sampler tick
+    stream, and re-clocks through the dynamic-DVFS application with
+    site privileges (it models a system-operated runtime service — the
+    one entity that owns the clocks on LUMI-G/CSCS-A100).  The outcome
+    lands in ``ExperimentResult.governor``.
     """
     from repro.audit.hooks import AuditSettings, EnergyAuditor
 
@@ -167,12 +180,34 @@ def run_scaled_experiment(
         if audit_settings.enabled
         else None
     )
+    governor_obj = None
+    if governor is not None:
+        from repro.tuning.governor import EnergyAwareGovernor, GovernorConfig
+
+        gov_config = (
+            GovernorConfig.for_system(governor, system, seed=seed)
+            if isinstance(governor, str)
+            else governor
+        )
+        governor_obj = EnergyAwareGovernor(
+            gov_config,
+            system.node_spec.gpu.supported_freqs_hz,
+            nominal_mhz=(
+                gpu_freq_mhz
+                if gpu_freq_mhz is not None
+                else system.node_spec.gpu.nominal_freq_hz / 1e6
+            ),
+        )
     num_nodes = system.nodes_for_cards(num_cards)
     clock = VirtualClock()
     cluster = Cluster(
         system.name.lower(), clock, system.node_spec, num_nodes, system.network
     )
-    if gpu_freq_mhz is not None:
+    if governor_obj is not None:
+        # The governor owns the clocks (a site-level service): the run
+        # starts at its preferred clock, privileged like its switches.
+        cluster.set_gpu_frequency(mhz(governor_obj.default_mhz), privileged=True)
+    elif gpu_freq_mhz is not None:
         cluster.set_gpu_frequency(mhz(gpu_freq_mhz), privileged=privileged_dvfs)
 
     telemetries = [
@@ -208,24 +243,43 @@ def run_scaled_experiment(
             collector = TimeseriesCollector()
         profiler.span_recorder = collector.spans
     profiler.auditor = auditor
-    app = ScaledSphApplication(
-        engine=engine,
-        profiler=profiler,
-        perfmodel=perfmodel,
-        functions=functions_for(test_case),
-        num_steps=steps,
-        test_case_name=test_case.name,
-    )
+    if governor_obj is not None:
+        from repro.tuning.dynamic import DynamicDvfsApplication
+
+        profiler.region_listener = governor_obj.observe_region
+        app: ScaledSphApplication = DynamicDvfsApplication(
+            engine=engine,
+            profiler=profiler,
+            perfmodel=perfmodel,
+            functions=functions_for(test_case),
+            num_steps=steps,
+            test_case_name=test_case.name,
+            policy=governor_obj,
+            privileged=True,
+        )
+    else:
+        app = ScaledSphApplication(
+            engine=engine,
+            profiler=profiler,
+            perfmodel=perfmodel,
+            functions=functions_for(test_case),
+            num_steps=steps,
+            test_case_name=test_case.name,
+        )
 
     samplers = ()
-    if power_sample_interval_s is not None or collector is not None:
+    if (
+        power_sample_interval_s is not None
+        or collector is not None
+        or governor_obj is not None
+    ):
         from repro.pmt.sampler import PmtSampler
 
         interval = (
             power_sample_interval_s if power_sample_interval_s is not None else 1.0
         )
         sampled_telemetries = telemetries
-        if collector is not None:
+        if collector is not None or governor_obj is not None:
             # The collector's samplers read *replica* telemetry: separate
             # counter instances over the same ground-truth traces and noise
             # seeds.  Sensor counters extend their cached integral lazily at
@@ -254,6 +308,13 @@ def run_scaled_experiment(
         if collector is not None:
             for node_index, sampler in enumerate(samplers):
                 collector.attach(node_index, sampler)
+        if governor_obj is not None:
+            from functools import partial
+
+            for node_index, sampler in enumerate(samplers):
+                sampler.add_listener(
+                    partial(governor_obj.on_tick, node_index)
+                )
         if auditor is not None:
             for node_index, sampler in enumerate(samplers):
                 auditor.watch_sampler(node_index, sampler)
@@ -280,6 +341,10 @@ def run_scaled_experiment(
             auditor.audit_store(collector.store)
         audit_report = auditor.report()
 
+    governor_report = None
+    if governor_obj is not None:
+        governor_report = governor_obj.report(switches=app.switch_count)
+
     return ExperimentResult(
         system=system,
         test_case=test_case,
@@ -290,4 +355,5 @@ def run_scaled_experiment(
         power_samplers=samplers,
         timeseries=collector,
         audit=audit_report,
+        governor=governor_report,
     )

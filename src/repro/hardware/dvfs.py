@@ -12,6 +12,20 @@ from __future__ import annotations
 from repro.errors import DvfsError
 
 
+def snap_to_supported(
+    supported_hz: tuple[float, ...], target_hz: float
+) -> float:
+    """The supported frequency closest to ``target_hz``.
+
+    An equidistant target (exactly between two supported steps) snaps to
+    the *lower* frequency — the conservative choice for both energy and
+    thermal headroom — regardless of how ``supported_hz`` is ordered.
+    """
+    if not supported_hz:
+        raise DvfsError("cannot snap to an empty supported set")
+    return min(supported_hz, key=lambda f: (abs(f - target_hz), f))
+
+
 class FrequencyDomain:
     """The frequency state of one device.
 
@@ -62,6 +76,10 @@ class FrequencyDomain:
     def ratio(self) -> float:
         """``current / nominal`` — the factor fed to the power model."""
         return self._current / self._nominal
+
+    def nearest_supported(self, freq_hz: float) -> float:
+        """The supported frequency closest to ``freq_hz`` (ties snap low)."""
+        return snap_to_supported(self._supported, float(freq_hz))
 
     def set_frequency(self, freq_hz: float, privileged: bool = False) -> None:
         """Set the frequency.

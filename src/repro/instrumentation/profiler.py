@@ -193,6 +193,12 @@ class EnergyProfiler:
         #: only observes values already read — audited energies are
         #: bit-identical to unaudited ones.
         self.auditor = None
+        #: Optional callable ``(rank, function, t0, t1, deltas)`` fired
+        #: after every closed region — the DVFS governor's model-update
+        #: tap.  Same contract as the other hooks: it receives values the
+        #: profiler already read and must not advance the clock, so
+        #: attaching it never perturbs a measurement.
+        self.region_listener = None
 
         self._node_cache: dict[tuple[int, float], dict[str, float]] = {}
         self._open: dict[
@@ -307,6 +313,8 @@ class EnergyProfiler:
             record = FunctionEnergyRecord(rank=rank, function=function)
             self._records[key] = record
         record.accumulate(self.clock.now - t0, deltas, health)
+        if self.region_listener is not None:
+            self.region_listener(rank, function, t0, self.clock.now, deltas)
         if self.auditor is not None:
             self.auditor.on_region(rank, function, t0, self.clock.now, deltas)
         if self.span_recorder is not None:

@@ -114,6 +114,43 @@ def campaign_audit_summary(stats) -> str:
     return "\n".join(lines)
 
 
+def governor_report(report) -> str:
+    """The governor section of a run report.
+
+    ``report`` is the :class:`~repro.tuning.governor.GovernorReport` an
+    :class:`~repro.experiments.runner.ExperimentResult` carries when the
+    run was governed.  Typed loosely to keep instrumentation free of a
+    tuning-package import.
+    """
+    lines = [
+        f"Governor: {report.policy} "
+        f"({report.decisions} decisions, {report.switches} switches, "
+        f"{report.switch_joules:.1f} J in dvfs-switch)"
+    ]
+    if report.power_cap_watts is not None:
+        verdict = (
+            "compliant"
+            if report.cap_violation_ticks == 0
+            and report.max_rolling_watts <= report.power_cap_watts
+            else f"VIOLATED on {report.cap_violation_ticks} ticks"
+        )
+        lines.append(
+            f"  power cap: {report.power_cap_watts:.0f} W, rolling max "
+            f"{report.max_rolling_watts:.1f} W — {verdict}"
+        )
+    if report.clock_table:
+        width = max(len(f) for f in report.clock_table)
+        lines.append("  settled clocks:")
+        for function in sorted(report.clock_table):
+            lines.append(
+                f"    {function:>{width}}  "
+                f"{report.clock_table[function]:.0f} MHz"
+            )
+    else:
+        lines.append("  settled clocks: none (no function ran past dwell)")
+    return "\n".join(lines)
+
+
 def device_report(run: RunMeasurements) -> str:
     """The device-level energy breakdown of one run."""
     # Imported lazily: the analysis package consumes instrumentation

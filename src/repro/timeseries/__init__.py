@@ -22,6 +22,7 @@ from repro.timeseries.export import (
     write_trace_csv,
 )
 from repro.timeseries.live import LiveView, attach_live_printer
+from repro.timeseries.rolling import RollingMean
 from repro.timeseries.spans import Instant, Span, SpanRecorder
 from repro.timeseries.store import (
     ChannelSeries,
@@ -36,6 +37,7 @@ __all__ = [
     "ChannelSeries",
     "Instant",
     "LiveView",
+    "RollingMean",
     "SampleStore",
     "Span",
     "SpanRecorder",

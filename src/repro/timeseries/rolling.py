@@ -1,0 +1,55 @@
+"""Rolling-window statistics over telemetry tick streams.
+
+:class:`RollingMean` keeps the time-ordered samples of one channel that
+fall inside a trailing window and serves their arithmetic mean — the
+"rolling node power" a power-cap governor compares against its budget.
+Samples arrive from :class:`~repro.pmt.sampler.PmtSampler` ticks, whose
+timestamps are monotone under the virtual clock, so eviction is a simple
+front-pop; out-of-order timestamps are rejected rather than silently
+reordered.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.errors import MeasurementError
+
+
+class RollingMean:
+    """Arithmetic mean of the samples inside a trailing time window."""
+
+    def __init__(self, window_s: float) -> None:
+        if window_s <= 0:
+            raise MeasurementError("rolling window must be positive")
+        self.window_s = float(window_s)
+        self._samples: deque[tuple[float, float]] = deque()
+        self._sum = 0.0
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def add(self, t: float, value: float) -> None:
+        """Append one sample and evict everything older than the window."""
+        if self._samples and t < self._samples[-1][0]:
+            raise MeasurementError(
+                f"rolling-window sample at t={t!r} precedes the newest "
+                f"sample at t={self._samples[-1][0]!r}"
+            )
+        self._samples.append((t, float(value)))
+        self._sum += float(value)
+        horizon = t - self.window_s
+        while self._samples and self._samples[0][0] < horizon:
+            _, old = self._samples.popleft()
+            self._sum -= old
+        # Re-sum periodically so float cancellation from the running
+        # subtraction cannot drift over million-tick runs.
+        if len(self._samples) and self._sum < 0:
+            self._sum = sum(v for _, v in self._samples)
+
+    @property
+    def mean(self) -> float:
+        """Mean of the in-window samples (0.0 before the first sample)."""
+        if not self._samples:
+            return 0.0
+        return self._sum / len(self._samples)

@@ -12,7 +12,10 @@ measurement infrastructure:
   the GPU clock at function boundaries (with a switching-latency cost);
 * :mod:`repro.tuning.optimizer` — the end-to-end loop: sweep, build the
   per-function policy, run it, and report savings against the static
-  baseline.
+  baseline;
+* :mod:`repro.tuning.governor` — the *online* closed loop: a governor
+  that learns per-function clocks from streaming telemetry during a
+  single run (min-energy, min-EDP, or power-cap compliance).
 """
 
 from repro.tuning.policy import (
@@ -21,8 +24,18 @@ from repro.tuning.policy import (
     StaticPolicy,
     build_oracle_policy,
 )
-from repro.tuning.dynamic import DVFS_SWITCH_LATENCY_S, DynamicDvfsApplication
-from repro.tuning.optimizer import TuningReport, tune_per_function
+from repro.tuning.dynamic import (
+    DVFS_SWITCH_LATENCY_S,
+    SWITCH_FUNCTION,
+    DynamicDvfsApplication,
+)
+from repro.tuning.governor import (
+    GOVERNOR_POLICIES,
+    EnergyAwareGovernor,
+    GovernorConfig,
+    GovernorReport,
+)
+from repro.tuning.optimizer import TuningReport, sweep_points, tune_per_function
 
 __all__ = [
     "FrequencyPolicy",
@@ -31,6 +44,12 @@ __all__ = [
     "build_oracle_policy",
     "DynamicDvfsApplication",
     "DVFS_SWITCH_LATENCY_S",
+    "SWITCH_FUNCTION",
+    "EnergyAwareGovernor",
+    "GovernorConfig",
+    "GovernorReport",
+    "GOVERNOR_POLICIES",
     "TuningReport",
+    "sweep_points",
     "tune_per_function",
 ]

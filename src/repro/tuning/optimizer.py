@@ -21,6 +21,7 @@ from dataclasses import dataclass
 from repro.analysis.aggregate import function_seconds, function_totals
 from repro.analysis.edp import run_edp
 from repro.config import SystemConfig, TestCaseConfig
+from repro.errors import ConfigurationError
 from repro.experiments.runner import functions_for, run_scaled_experiment
 from repro.hardware.cluster import Cluster
 from repro.hardware.clock import VirtualClock
@@ -58,15 +59,26 @@ class TuningReport:
     @property
     def edp_vs_baseline(self) -> float:
         """Dynamic EDP / nominal-clock EDP (< 1 means savings)."""
+        if self.baseline_edp <= 0:
+            raise ConfigurationError(
+                f"baseline EDP is {self.baseline_edp!r}: the sweep measured "
+                "no energy at the baseline frequency (degenerate run?)"
+            )
         return self.dynamic_edp / self.baseline_edp
 
     @property
     def edp_vs_best_static(self) -> float:
         """Dynamic EDP / best static-frequency EDP."""
+        if self.best_static_edp <= 0:
+            raise ConfigurationError(
+                f"best-static EDP is {self.best_static_edp!r}: the sweep "
+                "measured no energy at the best static frequency "
+                "(degenerate run?)"
+            )
         return self.dynamic_edp / self.best_static_edp
 
 
-def _sweep_points(run: RunMeasurements) -> list[FunctionSweepPoint]:
+def sweep_points(run: RunMeasurements) -> list[FunctionSweepPoint]:
     energy = function_totals(run, "gpu")
     seconds = function_seconds(run)
     return [
@@ -149,7 +161,7 @@ def tune_per_function(
             particles_per_rank=particles_per_rank,
             seed=seed,
         )
-        points.extend(_sweep_points(result.run))
+        points.extend(sweep_points(result.run))
         static_edp[freq] = run_edp(result.run)
         if freq == baseline_mhz:
             baseline_seconds = result.run.app_seconds

@@ -5,13 +5,14 @@ import pytest
 from repro.config import MINIHPC, SUBSONIC_TURBULENCE
 from repro.errors import ConfigurationError, SimulationError
 from repro.tuning import (
+    SWITCH_FUNCTION,
     DynamicDvfsApplication,
     PerFunctionPolicy,
     StaticPolicy,
     build_oracle_policy,
     tune_per_function,
 )
-from repro.tuning.optimizer import run_dynamic
+from repro.tuning.optimizer import TuningReport, run_dynamic
 from repro.tuning.policy import FunctionSweepPoint
 
 FREQS = (1410.0, 1230.0, 1005.0)
@@ -137,6 +138,149 @@ class TestDynamicApplication:
         )
         assert switches == 0
 
+    def test_skewed_per_rank_clocks_are_healed(self):
+        """Regression: the policy check must look at *every* rank's clock.
+
+        Deciding from rank 0 alone would return early here — rank 0 is
+        already at the target — and leave the skewed rank behind forever.
+        """
+        from repro.hardware import Cluster, VirtualClock
+        from repro.instrumentation import EnergyProfiler
+        from repro.mpi import CommCostModel, RankPlacement, SpmdEngine
+        from repro.sensors import NodeTelemetry
+        from repro.sph.perfmodel import SphPerformanceModel
+        from repro.units import mhz
+
+        system = MINIHPC
+        clock = VirtualClock()
+        cluster = Cluster(
+            "c", clock, system.node_spec, 1, system.network
+        )
+        placement = RankPlacement(cluster)
+        engine = SpmdEngine(placement)
+        telemetries = [
+            NodeTelemetry(node, system, clock, seed=i)
+            for i, node in enumerate(cluster.nodes)
+        ]
+        profiler = EnergyProfiler(placement, telemetries, system)
+        app = DynamicDvfsApplication(
+            engine=engine,
+            profiler=profiler,
+            perfmodel=SphPerformanceModel(
+                CommCostModel(system.network, placement), 1e6
+            ),
+            functions=("A",),
+            num_steps=1,
+            test_case_name="t",
+            policy=StaticPolicy(1410.0),
+        )
+        assert placement.size >= 2
+        # Skew: rank 0 at the target already, rank 1 behind.
+        placement.gpu_of(0).set_frequency(mhz(1410.0))
+        placement.gpu_of(1).set_frequency(mhz(1005.0))
+        profiler.start_app()
+        app._apply_policy("A")
+        clocks = {
+            placement.gpu_of(rank).frequency.current_hz
+            for rank in range(placement.size)
+        }
+        assert clocks == {mhz(1410.0)}
+        assert app.switch_count == 1
+
+    def test_switch_energy_isolated_from_functions(self):
+        """Regression: relock idle energy lands in ``dvfs-switch``, not in
+        the surrounding functions' windows.
+
+        The GPU counter samples power at 50 ms ticks (left rectangles), so
+        at most one boundary tick of smear per region edge is genuine
+        sensor behaviour — it moves between adjacent windows whenever the
+        timeline shifts, switch latency or not.  The pre-fix bug folded the
+        *entire* idle window into the next function's measurement, which
+        grows without bound in the latency; the fix caps any per-function
+        shift at the smear bound while the isolated ``dvfs-switch`` term
+        carries the idle energy.  A latency that is an exact multiple of
+        the sensor tick keeps every later region's tick phase identical to
+        the zero-latency run, so the smear bound is tight here.
+        """
+        from repro.analysis.aggregate import function_totals
+        from repro.sensors.nvml import NVML_PERIOD_S
+
+        policy = PerFunctionPolicy(
+            default_mhz=1410.0, table={"MomentumEnergy": 1005.0}
+        )
+        num_steps = 2
+        latency = 10 * NVML_PERIOD_S  # tick-aligned, dwarfs boundary smear
+
+        def run(latency):
+            from repro.hardware import Cluster, VirtualClock
+            from repro.instrumentation import EnergyProfiler
+            from repro.mpi import CommCostModel, RankPlacement, SpmdEngine
+            from repro.sensors import NodeTelemetry
+            from repro.sph.perfmodel import SphPerformanceModel
+            from repro.sph.propagator import TURBULENCE_FUNCTIONS
+
+            system = MINIHPC
+            clock = VirtualClock()
+            cluster = Cluster("c", clock, system.node_spec, 1, system.network)
+            placement = RankPlacement(cluster)
+            engine = SpmdEngine(placement)
+            telemetries = [
+                NodeTelemetry(node, system, clock, seed=i)
+                for i, node in enumerate(cluster.nodes)
+            ]
+            profiler = EnergyProfiler(placement, telemetries, system)
+            app = DynamicDvfsApplication(
+                engine=engine,
+                profiler=profiler,
+                perfmodel=SphPerformanceModel(
+                    CommCostModel(system.network, placement), 1e7
+                ),
+                functions=TURBULENCE_FUNCTIONS,
+                num_steps=num_steps,
+                test_case_name=SUBSONIC_TURBULENCE.name,
+                policy=policy,
+                switch_latency_s=latency,
+            )
+            return app.run(), app.switch_count
+
+        with_latency, switches = run(latency)
+        without_latency, _ = run(0.0)
+        assert switches > 0
+        hot = function_totals(with_latency, "gpu")
+        cold = function_totals(without_latency, "gpu")
+        switch_term = hot.pop(SWITCH_FUNCTION)
+        assert SWITCH_FUNCTION not in cold
+
+        # Timing isolation is exact: the relock stall never inflates a
+        # function's measured seconds, and the switch span accounts for
+        # every idle second on every rank.
+        hot_seconds = {}
+        for rec in with_latency.records:
+            hot_seconds[rec.function] = (
+                hot_seconds.get(rec.function, 0.0) + rec.seconds
+            )
+        switch_seconds = hot_seconds.pop(SWITCH_FUNCTION)
+        assert switch_seconds == pytest.approx(
+            switches * latency * with_latency.num_ranks, rel=1e-12
+        )
+        cold_seconds = {}
+        for rec in without_latency.records:
+            cold_seconds[rec.function] = (
+                cold_seconds.get(rec.function, 0.0) + rec.seconds
+            )
+        for fn, seconds in hot_seconds.items():
+            assert seconds == pytest.approx(cold_seconds[fn], rel=1e-12)
+
+        # Energy isolation up to sensor-boundary smear: each function call
+        # bordering a switch can exchange at most one 50 ms tick of energy
+        # with its neighbour per edge (two edges x num_steps calls, at
+        # card peak power in the worst case).
+        card_peak = MINIHPC.node_spec.card_peak_watts
+        smear = 2 * num_steps * NVML_PERIOD_S * card_peak
+        assert switch_term > 2 * smear  # the isolated term is unmistakable
+        for fn, joules in hot.items():
+            assert joules == pytest.approx(cold[fn], abs=smear)
+
     def test_negative_latency_rejected(self):
         with pytest.raises(SimulationError):
             # Engine internals irrelevant; the constructor validates first.
@@ -150,6 +294,37 @@ class TestDynamicApplication:
                 policy=StaticPolicy(1410.0),
                 switch_latency_s=-1.0,
             )
+
+
+class TestReportGuards:
+    def make_report(self, baseline_edp=100.0, best_static_edp=90.0):
+        return TuningReport(
+            policy=PerFunctionPolicy(default_mhz=1410.0, table={}),
+            baseline_mhz=1410.0,
+            baseline_edp=baseline_edp,
+            baseline_seconds=10.0,
+            best_static_mhz=1005.0,
+            best_static_edp=best_static_edp,
+            dynamic_edp=80.0,
+            dynamic_seconds=11.0,
+            dynamic_run=None,
+            switch_count=0,
+        )
+
+    def test_ratios_on_healthy_denominators(self):
+        report = self.make_report()
+        assert report.edp_vs_baseline == pytest.approx(0.8)
+        assert report.edp_vs_best_static == pytest.approx(80.0 / 90.0)
+
+    def test_zero_baseline_edp_raises_typed_error(self):
+        report = self.make_report(baseline_edp=0.0)
+        with pytest.raises(ConfigurationError):
+            report.edp_vs_baseline
+
+    def test_zero_best_static_edp_raises_typed_error(self):
+        report = self.make_report(best_static_edp=0.0)
+        with pytest.raises(ConfigurationError):
+            report.edp_vs_best_static
 
 
 class TestEndToEndTuning:

@@ -1,7 +1,7 @@
 PYTHON ?= python
 PYTEST := PYTHONPATH=src $(PYTHON) -m pytest
 
-.PHONY: test bench bench-smoke bench-campaign bench-faults bench-timeseries bench-governor audit
+.PHONY: test bench bench-smoke bench-campaign bench-faults bench-timeseries bench-governor serve-smoke audit
 
 # Tier-1: the full unit/integration/property suite.
 test:
@@ -38,6 +38,12 @@ bench-timeseries:
 # systems, power-cap compliance, strict audit — full and smoke variants.
 bench-governor:
 	$(PYTEST) benchmarks/bench_ext_governor.py -q
+
+# Telemetry service smoke: a wait-mode loopback load run whose ingest
+# ledger reproduces byte-for-byte, plus the scripted queue-overflow
+# scenario proving sheds are accounted, never silent.
+serve-smoke:
+	$(PYTEST) benchmarks/bench_service.py -q -k smoke
 
 # Energy-accounting audit: the AST lint over the source tree (exits
 # non-zero on any finding) plus a strict-mode audited measurement run —

@@ -11,7 +11,13 @@ Every paper artifact is reachable from the shell:
   exports the retained telemetry timeline);
 * ``export-trace`` — run a case and export Chrome-trace/Prometheus/CSV
   observability artifacts;
-* ``watch`` — live per-node power sparklines while a run executes;
+* ``watch`` — live per-node power sparklines while a run executes
+  (or, with ``--url``, attached to a running telemetry service's SSE
+  live stream);
+* ``serve`` — the multi-tenant telemetry ingest/query service
+  (framed-protocol stream port + HTTP query/metrics/watch port);
+* ``publish`` — run a case and stream its telemetry to a ``serve``
+  instance with zero measurement perturbation;
 * ``campaign`` — sharded sweep execution (``run``/``status``/``clean``)
   with a content-addressed result cache, so repeated sweeps only pay for
   cache misses;
@@ -319,9 +325,94 @@ def _cmd_export_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import threading
+
+    from repro.instrumentation.reporting import service_qc_summary
+    from repro.service import ServiceThread, TenantConfig
+
+    config = TenantConfig(max_pending_samples=args.max_pending)
+    with ServiceThread(
+        host=args.host,
+        port=args.port,
+        http_port=args.http_port,
+        tenant_config=config,
+    ) as handle:
+        print(
+            f"telemetry service on {handle.host}: "
+            f"stream :{handle.port}, http :{handle.http_port}"
+        )
+        print(
+            f"  publish:   python -m repro publish --url "
+            f"telemetry://{handle.host}:{handle.port}/<tenant>"
+        )
+        print(
+            f"  watch:     python -m repro watch --url "
+            f"{handle.host}:{handle.http_port} --tenant <name>"
+        )
+        print(
+            f"  metrics:   http://{handle.host}:{handle.http_port}/metrics",
+            flush=True,  # the banner must reach pipes before we block
+        )
+        try:
+            threading.Event().wait()
+        except KeyboardInterrupt:
+            pass
+        registry = handle.service.registry
+        print()
+        print(registry.accounting_summary())
+        print(
+            service_qc_summary(
+                registry.snapshot(),
+                handle.service.watch_frames_sent,
+                handle.service.watch_frames_dropped,
+            )
+        )
+    return 0
+
+
+def _cmd_publish(args: argparse.Namespace) -> int:
+    from repro.instrumentation.reporting import service_qc_summary
+    from repro.service import (
+        ServiceClient,
+        ServiceCollector,
+        endpoint_tenant,
+        parse_endpoint,
+    )
+
+    host, port = parse_endpoint(args.url)
+    tenant = endpoint_tenant(args.url) or args.tenant
+    client = ServiceClient(
+        host,
+        port,
+        tenant,
+        source=f"publish:{args.case}",
+        backpressure=args.backpressure,
+    )
+    collector = ServiceCollector(client, batch_ticks=args.batch_ticks)
+    result = _run_with_collector(args, collector=collector)
+    ack = collector.close()
+    summary = collector.summary()
+    print(
+        f"{args.case} on {args.system}: {summary['samples']} samples "
+        f"retained locally, {client.published_samples} published to "
+        f"{host}:{port} as tenant {tenant!r} "
+        f"({client.published_batches} batches)"
+    )
+    print(
+        f"run window: {result.run.app_seconds:.0f} s instrumented, "
+        f"{summary['channels']} channels"
+    )
+    snapshot = {k: v for k, v in ack.items() if k != "kind"}
+    print(service_qc_summary([snapshot]))
+    return 0
+
+
 def _cmd_watch(args: argparse.Namespace) -> int:
     from repro.timeseries import TimeseriesCollector, attach_live_printer
 
+    if args.url:
+        return _watch_remote(args)
     collector = TimeseriesCollector()
     view = attach_live_printer(
         collector, every_ticks=args.every, width=args.width
@@ -335,6 +426,33 @@ def _cmd_watch(args: argparse.Namespace) -> int:
         f"{summary['spans']} spans, "
         f"{result.run.app_seconds:.0f} s instrumented window"
     )
+    return 0
+
+
+def _watch_remote(args: argparse.Namespace) -> int:
+    """Attach ``watch`` to a running service's SSE live stream."""
+    from repro.service import parse_endpoint, watch_sse
+
+    if not args.tenant:
+        print("error: watch --url needs --tenant", file=sys.stderr)
+        return 1
+    host, port = parse_endpoint(args.url)
+    frames = 0
+    for payload in watch_sse(
+        host,
+        port,
+        args.tenant,
+        every=args.every,
+        width=args.width,
+        max_frames=args.frames,
+    ):
+        print(payload["frame"])
+        print(
+            f"[{payload['tenant']}] {payload['samples']} samples over "
+            f"{payload['channels']} channels"
+        )
+        frames += 1
+    print(f"\nwatch closed after {frames} frames")
     return 0
 
 
@@ -694,8 +812,78 @@ def build_parser() -> argparse.ArgumentParser:
         help="render a frame every N sampler ticks (default 50)",
     )
     p.add_argument("--width", type=int, default=48, help="sparkline width")
+    p.add_argument(
+        "--url",
+        default=None,
+        help="attach to a running service's HTTP port (host:port) "
+        "instead of running a local experiment",
+    )
+    p.add_argument(
+        "--tenant", default=None, help="tenant to watch (with --url)"
+    )
+    p.add_argument(
+        "--frames",
+        type=int,
+        default=None,
+        help="stop after N frames (with --url; default: stream until close)",
+    )
     _add_steps(p, default=20)
     p.set_defaults(func=_cmd_watch)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the multi-tenant telemetry ingest/query service",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument(
+        "--port", type=int, default=0,
+        help="stream (framed protocol) port; 0 binds an ephemeral port",
+    )
+    p.add_argument(
+        "--http-port", type=int, default=0,
+        help="query/metrics/watch HTTP port; 0 binds an ephemeral port",
+    )
+    p.add_argument(
+        "--max-pending",
+        type=int,
+        default=262_144,
+        help="per-tenant write-queue bound in samples (default 262144)",
+    )
+    p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "publish",
+        help="run a case and stream its telemetry to a service",
+    )
+    p.add_argument(
+        "--url",
+        required=True,
+        help="service stream endpoint: telemetry://host:port[/tenant] "
+        "(a /tenant path overrides --tenant)",
+    )
+    p.add_argument("--tenant", default="default")
+    p.add_argument(
+        "--backpressure",
+        default="wait",
+        choices=["wait", "shed"],
+        help="block when the tenant queue is full (wait) or let the "
+        "service shed with accounting (shed)",
+    )
+    p.add_argument(
+        "--batch-ticks", type=int, default=32,
+        help="sampler ticks buffered per published batch (default 32)",
+    )
+    p.add_argument("--system", default="CSCS-A100", choices=sorted(SYSTEMS))
+    p.add_argument(
+        "--case", default="Sedov Blast", choices=sorted(OBSERVABILITY_CASES)
+    )
+    p.add_argument("--cards", type=int, default=8)
+    p.add_argument(
+        "--interval", type=float, default=None,
+        help="sampling period in simulated seconds (default 1.0)",
+    )
+    _add_steps(p, default=20)
+    p.set_defaults(func=_cmd_publish)
 
     p = sub.add_parser(
         "compare", help="A/B per-function comparison between two systems"

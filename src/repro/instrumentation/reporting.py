@@ -114,6 +114,69 @@ def campaign_audit_summary(stats) -> str:
     return "\n".join(lines)
 
 
+def service_qc_summary(
+    snapshots: list[dict],
+    watch_frames_sent: dict[str, int] | None = None,
+    watch_frames_dropped: dict[str, int] | None = None,
+) -> str:
+    """The telemetry-service ingest QC verdict.
+
+    ``snapshots`` are tenant accounting snapshots (what
+    :meth:`~repro.service.tenants.Tenant.snapshot` and the service's
+    ``/tenants`` endpoint return).  Mirrors the campaign QC idiom: one
+    line when every sample offered was ingested, per-tenant detail when
+    anything was shed or rejected — drops are *accounted*, never hidden
+    inside an aggregate.
+    """
+    if not snapshots:
+        return "Service QC: no tenants"
+    offered = sum(s["samples_offered"] for s in snapshots)
+    ingested = sum(s["samples_ingested"] for s in snapshots)
+    shed = sum(s["samples_shed"] for s in snapshots)
+    rejected = sum(s["samples_rejected"] for s in snapshots)
+    pending = sum(s["pending_samples"] for s in snapshots)
+    balanced = offered == ingested + shed + rejected + pending
+    over_cap = [
+        s["tenant"] for s in snapshots
+        if s["store_bytes"] > s["memory_cap_bytes"]
+    ]
+    dropped_frames = sum((watch_frames_dropped or {}).values())
+    lines = []
+    if shed == 0 and rejected == 0 and balanced and not over_cap:
+        verdict = (
+            f"Service QC: ok — {ingested} of {offered} samples ingested "
+            f"across {len(snapshots)} tenants, 0 shed, 0 rejected"
+        )
+        if pending:
+            verdict += f" ({pending} still queued)"
+        lines.append(verdict)
+    else:
+        lines.append(
+            f"Service QC: DEGRADED — offered {offered}, ingested {ingested}, "
+            f"shed {shed}, rejected {rejected}, pending {pending}"
+        )
+        for s in snapshots:
+            if s["samples_shed"] or s["samples_rejected"]:
+                lines.append(
+                    f"  {s['tenant']}: shed {s['samples_shed']}, "
+                    f"rejected {s['samples_rejected']} "
+                    f"of {s['samples_offered']} offered"
+                )
+        if not balanced:
+            lines.append(
+                "  accounting identity BROKEN: offered != "
+                "ingested + shed + rejected + pending"
+            )
+        for name in over_cap:
+            lines.append(f"  {name}: store exceeds its memory cap")
+    if dropped_frames:
+        lines.append(
+            f"  live watch: {dropped_frames} frames dropped to slow "
+            f"subscribers ({sum((watch_frames_sent or {}).values())} sent)"
+        )
+    return "\n".join(lines)
+
+
 def governor_report(report) -> str:
     """The governor section of a run report.
 

@@ -1,0 +1,193 @@
+"""Wire protocol of the telemetry service.
+
+Frames are length-prefixed JSON: a 4-byte big-endian payload length
+followed by a UTF-8 JSON object.  JSON keeps the protocol dependency-free
+and debuggable (``nc`` + a hex dump reads it); the length prefix makes
+framing trivial under partial reads and lets the receiver reject an
+oversized frame *before* buffering it.  The same batch objects travel as
+the body of the HTTP ``POST /ingest`` endpoint, so both ingest paths
+share one validator.
+
+Message kinds, client -> server:
+
+* ``hello`` — opens a session: tenant name, a source label, the protocol
+  version, and the backpressure mode (``wait`` blocks the socket when the
+  tenant's write queue is saturated; ``shed`` never blocks and lets the
+  server drop the batch *with accounting*);
+* ``batch`` — one node's samples for one or more channels, columnar
+  (``t``/``watts``/``joules`` and optional ``quality`` code arrays);
+* ``sync`` — requests an ``ack`` carrying the tenant's ingest counters
+  (the explicit backpressure/accounting handshake);
+* ``bye`` — closes the session; the server acks and disconnects.
+
+Server -> client: ``ack`` (counters snapshot) and ``error`` (malformed
+input; the frame is dropped and *counted*, never silently ignored).
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+#: Protocol version sent in ``hello`` and checked by the server.
+PROTOCOL_VERSION = 1
+
+#: Hard ceiling on one frame's JSON payload (16 MiB): a corrupt length
+#: prefix must not make the server buffer gigabytes.
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+#: Backpressure modes a session can request.
+BACKPRESSURE_MODES = ("wait", "shed")
+
+_LEN = struct.Struct(">I")
+
+
+class ProtocolError(ConfigurationError):
+    """Raised on malformed frames or invalid protocol usage."""
+
+
+def encode_frame(message: dict) -> bytes:
+    """One wire frame for ``message``."""
+    payload = json.dumps(message, sort_keys=True, separators=(",", ":")).encode()
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame payload of {len(payload)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte frame ceiling"
+        )
+    return _LEN.pack(len(payload)) + payload
+
+
+class FrameDecoder:
+    """Incremental frame decoder over an arbitrary byte-chunk stream."""
+
+    def __init__(self) -> None:
+        self._buf = bytearray()
+
+    def feed(self, data: bytes) -> list[dict]:
+        """Buffer ``data`` and return every completed frame's message."""
+        self._buf.extend(data)
+        out: list[dict] = []
+        while True:
+            if len(self._buf) < _LEN.size:
+                return out
+            (length,) = _LEN.unpack_from(self._buf)
+            if length > MAX_FRAME_BYTES:
+                raise ProtocolError(
+                    f"incoming frame of {length} bytes exceeds the "
+                    f"{MAX_FRAME_BYTES}-byte frame ceiling"
+                )
+            if len(self._buf) < _LEN.size + length:
+                return out
+            payload = bytes(self._buf[_LEN.size : _LEN.size + length])
+            del self._buf[: _LEN.size + length]
+            try:
+                message = json.loads(payload)
+            except ValueError as exc:
+                raise ProtocolError(f"frame payload is not JSON: {exc}") from None
+            if not isinstance(message, dict) or "kind" not in message:
+                raise ProtocolError("frame payload must be an object with 'kind'")
+            out.append(message)
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered toward an incomplete frame."""
+        return len(self._buf)
+
+
+# -- messages ---------------------------------------------------------------
+
+
+def hello_message(
+    tenant: str, source: str = "client", backpressure: str = "wait"
+) -> dict:
+    if backpressure not in BACKPRESSURE_MODES:
+        raise ProtocolError(
+            f"unknown backpressure mode {backpressure!r}; "
+            f"expected one of {BACKPRESSURE_MODES}"
+        )
+    if not tenant:
+        raise ProtocolError("tenant name must be non-empty")
+    return {
+        "kind": "hello",
+        "tenant": str(tenant),
+        "source": str(source),
+        "protocol": PROTOCOL_VERSION,
+        "backpressure": backpressure,
+    }
+
+
+def batch_message(node: int, channels: dict[str, dict[str, list]]) -> dict:
+    """One ingest batch: ``channels`` maps a name to its sample columns."""
+    return {"kind": "batch", "node": int(node), "channels": channels}
+
+
+def sync_message() -> dict:
+    return {"kind": "sync"}
+
+
+def bye_message() -> dict:
+    return {"kind": "bye"}
+
+
+# -- batch validation -------------------------------------------------------
+
+
+def batch_columns(channel_payload: dict) -> tuple[np.ndarray, ...]:
+    """Validated ``(t, watts, joules, quality)`` columns of one channel.
+
+    The quality column is optional on the wire (all-``ok`` when absent).
+    Column lengths must agree and times must be non-decreasing *within
+    the batch* (cross-batch ordering is the store's check).
+    """
+    try:
+        t = np.asarray(channel_payload["t"], dtype=np.float64)
+        watts = np.asarray(channel_payload["watts"], dtype=np.float64)
+        joules = np.asarray(channel_payload["joules"], dtype=np.float64)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ProtocolError(f"malformed batch columns: {exc}") from None
+    if "quality" in channel_payload:
+        try:
+            quality = np.asarray(channel_payload["quality"], dtype=np.uint8)
+        except (TypeError, ValueError) as exc:
+            raise ProtocolError(f"malformed quality column: {exc}") from None
+    else:
+        quality = np.zeros(len(t), dtype=np.uint8)
+    if not (len(t) == len(watts) == len(joules) == len(quality)):
+        raise ProtocolError(
+            "batch columns must have equal length, got "
+            f"t:{len(t)} watts:{len(watts)} joules:{len(joules)} "
+            f"quality:{len(quality)}"
+        )
+    if len(t) == 0:
+        raise ProtocolError("batch channel carries no samples")
+    if np.any(np.diff(t) < 0):
+        raise ProtocolError("batch sample times must be non-decreasing")
+    return t, watts, joules, quality
+
+
+def parse_batch(message: dict) -> tuple[int, dict[str, tuple[np.ndarray, ...]]]:
+    """Validated ``(node, {channel: columns})`` of one batch message."""
+    if message.get("kind") != "batch":
+        raise ProtocolError(f"expected a batch message, got {message.get('kind')!r}")
+    try:
+        node = int(message["node"])
+    except (KeyError, TypeError, ValueError):
+        raise ProtocolError("batch message carries no integer 'node'") from None
+    channels = message.get("channels")
+    if not isinstance(channels, dict) or not channels:
+        raise ProtocolError("batch message carries no channels")
+    return node, {
+        str(name): batch_columns(payload) for name, payload in channels.items()
+    }
+
+
+def batch_num_samples(message: dict) -> int:
+    """Total samples a (structurally valid) batch message carries."""
+    return sum(
+        len(payload.get("t", ()))
+        for payload in message.get("channels", {}).values()
+    )

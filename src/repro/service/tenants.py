@@ -1,0 +1,281 @@
+"""Multi-tenant ingest state: per-tenant stores, queues and accounting.
+
+The service multiplexes many publishers into per-tenant
+:class:`~repro.timeseries.store.SampleStore` instances.  Everything in
+this module is synchronous and deterministic — the asyncio layer on top
+only decides *when* to call it, never *what* it computes — so the ingest
+accounting summary of a scripted feed is byte-identical run to run (the
+determinism CI gate diffs it).
+
+Backpressure is a bounded per-tenant write queue measured in *samples*:
+
+* ``offer`` enqueues a parsed batch, or — when the queue is saturated —
+  sheds it **with accounting** (``batches_shed``/``samples_shed``
+  counters; nothing is ever dropped silently);
+* ``drain`` applies queued batches to the tiered store in arrival order;
+* the asyncio server calls ``offer`` from connection handlers and
+  ``drain`` from a background task, and pauses reading a ``wait``-mode
+  session's socket while its tenant is saturated (TCP backpressure)
+  instead of shedding.
+
+The tiered store bounds *memory* per channel by construction; the queue
+bounds the ingest *latency* window.  ``memory_cap_bytes`` is therefore a
+hard per-tenant cap that holds at any instant, no matter how fast
+publishers push.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.timeseries.store import SampleStore
+
+#: Default bound on one tenant's pending (queued, not yet applied) samples.
+DEFAULT_MAX_PENDING_SAMPLES = 262_144
+
+
+@dataclass(frozen=True)
+class TenantConfig:
+    """Sizing of one tenant's store and write queue."""
+
+    raw_capacity: int = 4096
+    bucket_size: int = 32
+    bucket_capacity: int = 2048
+    lttb_capacity: int = 1024
+    max_pending_samples: int = DEFAULT_MAX_PENDING_SAMPLES
+
+    def __post_init__(self) -> None:
+        if self.max_pending_samples < 1:
+            raise ConfigurationError(
+                "max_pending_samples must be >= 1, got "
+                f"{self.max_pending_samples}"
+            )
+
+    def make_store(self) -> SampleStore:
+        return SampleStore(
+            raw_capacity=self.raw_capacity,
+            bucket_size=self.bucket_size,
+            bucket_capacity=self.bucket_capacity,
+            lttb_capacity=self.lttb_capacity,
+        )
+
+
+@dataclass
+class IngestCounters:
+    """One tenant's ingest ledger.
+
+    The accounting identity every test and benchmark asserts::
+
+        batches_offered == batches_ingested + batches_pending + batches_shed
+                           + batches_rejected
+
+    (and the same in samples).  ``rejected`` counts structurally invalid
+    batches — out-of-order timestamps, column mismatches — which are
+    refused *before* touching the store, and counted, never swallowed.
+    """
+
+    batches_offered: int = 0
+    samples_offered: int = 0
+    batches_ingested: int = 0
+    samples_ingested: int = 0
+    batches_shed: int = 0
+    samples_shed: int = 0
+    batches_rejected: int = 0
+    samples_rejected: int = 0
+    rejection_reasons: dict[str, int] = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        return {
+            "batches_offered": self.batches_offered,
+            "samples_offered": self.samples_offered,
+            "batches_ingested": self.batches_ingested,
+            "samples_ingested": self.samples_ingested,
+            "batches_shed": self.batches_shed,
+            "samples_shed": self.samples_shed,
+            "batches_rejected": self.batches_rejected,
+            "samples_rejected": self.samples_rejected,
+        }
+
+
+@dataclass(frozen=True)
+class _PendingBatch:
+    node: int
+    channels: dict[str, tuple[np.ndarray, ...]]
+    num_samples: int
+
+
+class Tenant:
+    """One tenant's store, write queue and ledger."""
+
+    def __init__(self, name: str, config: TenantConfig | None = None) -> None:
+        if not name:
+            raise ConfigurationError("tenant name must be non-empty")
+        self.name = str(name)
+        self.config = config if config is not None else TenantConfig()
+        self.store = self.config.make_store()
+        self.counters = IngestCounters()
+        self._pending: deque[_PendingBatch] = deque()
+        self._pending_samples = 0
+
+    # -- ingest --------------------------------------------------------------
+
+    @property
+    def pending_batches(self) -> int:
+        return len(self._pending)
+
+    @property
+    def pending_samples(self) -> int:
+        return self._pending_samples
+
+    @property
+    def saturated(self) -> bool:
+        """True when the write queue has no room for further samples."""
+        return self._pending_samples >= self.config.max_pending_samples
+
+    def offer(
+        self, node: int, channels: dict[str, tuple[np.ndarray, ...]]
+    ) -> bool:
+        """Enqueue one parsed batch; shed (with accounting) when saturated.
+
+        Returns True when the batch was queued, False when it was shed.
+        """
+        num = sum(len(cols[0]) for cols in channels.values())
+        self.counters.batches_offered += 1
+        self.counters.samples_offered += num
+        if self._pending_samples + num > self.config.max_pending_samples:
+            self.counters.batches_shed += 1
+            self.counters.samples_shed += num
+            return False
+        self._pending.append(_PendingBatch(int(node), channels, num))
+        self._pending_samples += num
+        return True
+
+    def reject(self, reason: str, num_samples: int = 0) -> None:
+        """Account one structurally invalid batch."""
+        self.counters.batches_offered += 1
+        self.counters.samples_offered += num_samples
+        self.counters.batches_rejected += 1
+        self.counters.samples_rejected += num_samples
+        reasons = self.counters.rejection_reasons
+        reasons[reason] = reasons.get(reason, 0) + 1
+
+    def drain(self, max_batches: int | None = None) -> int:
+        """Apply queued batches to the store in arrival order.
+
+        Returns the number of samples applied.  A batch whose timestamps
+        regress against the channel's stored timeline is rejected with
+        accounting (the store's ordering invariant stays intact, and the
+        drop is visible in QC).
+        """
+        applied = 0
+        budget = len(self._pending) if max_batches is None else max_batches
+        while self._pending and budget > 0:
+            batch = self._pending.popleft()
+            self._pending_samples -= batch.num_samples
+            budget -= 1
+            try:
+                for name, (t, watts, joules, quality) in sorted(
+                    batch.channels.items()
+                ):
+                    self.store.channel(batch.node, name).extend(
+                        t, watts, joules, quality
+                    )
+            except Exception as exc:
+                self.counters.batches_rejected += 1
+                self.counters.samples_rejected += batch.num_samples
+                reasons = self.counters.rejection_reasons
+                key = type(exc).__name__
+                reasons[key] = reasons.get(key, 0) + 1
+                continue
+            self.counters.batches_ingested += 1
+            self.counters.samples_ingested += batch.num_samples
+            applied += batch.num_samples
+        return applied
+
+    # -- caps and summaries --------------------------------------------------
+
+    def memory_cap_bytes(self) -> int:
+        """This tenant's hard store-memory cap (see ``SampleStore``)."""
+        return self.store.memory_cap_bytes()
+
+    def snapshot(self) -> dict:
+        """Deterministic accounting snapshot (no latency, no wall time)."""
+        return {
+            "tenant": self.name,
+            "channels": len(self.store),
+            "store_bytes": self.store.nbytes,
+            "memory_cap_bytes": self.memory_cap_bytes(),
+            "pending_batches": self.pending_batches,
+            "pending_samples": self.pending_samples,
+            **self.counters.as_dict(),
+        }
+
+
+class TenantRegistry:
+    """All tenants of one service instance."""
+
+    def __init__(self, config: TenantConfig | None = None) -> None:
+        self.default_config = config if config is not None else TenantConfig()
+        self._tenants: dict[str, Tenant] = {}
+
+    def get_or_create(self, name: str) -> Tenant:
+        tenant = self._tenants.get(name)
+        if tenant is None:
+            tenant = Tenant(name, self.default_config)
+            self._tenants[name] = tenant
+        return tenant
+
+    def get(self, name: str) -> Tenant:
+        try:
+            return self._tenants[name]
+        except KeyError:
+            raise ConfigurationError(f"unknown tenant {name!r}") from None
+
+    def names(self) -> list[str]:
+        return sorted(self._tenants)
+
+    def __len__(self) -> int:
+        return len(self._tenants)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tenants
+
+    def drain_all(self, max_batches_per_tenant: int | None = None) -> int:
+        """Drain every tenant (sorted order); returns samples applied."""
+        return sum(
+            self._tenants[name].drain(max_batches_per_tenant)
+            for name in self.names()
+        )
+
+    def stores(self) -> dict[str, SampleStore]:
+        """``tenant -> store`` for the multi-tenant Prometheus scrape."""
+        return {name: self._tenants[name].store for name in self.names()}
+
+    def snapshot(self) -> list[dict]:
+        return [self._tenants[name].snapshot() for name in self.names()]
+
+    def accounting_summary(self) -> str:
+        """The deterministic ingest ledger, one tenant per line.
+
+        This is the text the smoke benchmark commits and the determinism
+        CI job diffs byte-for-byte: counts only — no latencies, no
+        wall-clock, no ports.
+        """
+        lines = [
+            f"{'tenant':>12} {'channels':>8} {'offered':>9} {'ingested':>9} "
+            f"{'shed':>6} {'rejected':>8} {'pending':>7} {'bytes<=cap':>12}"
+        ]
+        for snap in self.snapshot():
+            cap_ok = snap["store_bytes"] <= snap["memory_cap_bytes"]
+            lines.append(
+                f"{snap['tenant']:>12} {snap['channels']:>8} "
+                f"{snap['samples_offered']:>9} {snap['samples_ingested']:>9} "
+                f"{snap['samples_shed']:>6} {snap['samples_rejected']:>8} "
+                f"{snap['pending_samples']:>7} "
+                f"{str(cap_ok):>12}"
+            )
+        return "\n".join(lines)

@@ -13,8 +13,10 @@ a run executes.
 from repro.timeseries.collect import TimeseriesCollector
 from repro.timeseries.export import (
     chrome_trace,
+    escape_label_value,
     export_bundle,
     prometheus_text,
+    prometheus_text_multi,
     write_chrome_trace,
     write_csv,
     write_jsonl,
@@ -45,9 +47,11 @@ __all__ = [
     "TimeseriesCollector",
     "attach_live_printer",
     "chrome_trace",
+    "escape_label_value",
     "export_bundle",
     "lttb_indices",
     "prometheus_text",
+    "prometheus_text_multi",
     "quality_code",
     "quality_name",
     "write_chrome_trace",

@@ -152,49 +152,107 @@ def write_chrome_trace(
 # -- Prometheus text exposition ---------------------------------------------
 
 
+def escape_label_value(value: str) -> str:
+    """Escape one label value per the Prometheus exposition format.
+
+    Backslash, double-quote and newline are the three characters the text
+    format requires escaping inside quoted label values; anything else
+    passes through verbatim (a hostile channel name must never corrupt
+    the scrape output or smuggle in extra samples).
+    """
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _escape_help(text: str) -> str:
+    """Escape a ``# HELP`` docstring (backslash and newline only)."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
 def _label_str(labels: dict[str, str]) -> str:
-    inner = ",".join(f'{k}="{v}"' for k, v in sorted(labels.items()))
+    inner = ",".join(
+        f'{k}="{escape_label_value(v)}"' for k, v in sorted(labels.items())
+    )
     return "{" + inner + "}"
 
 
-def prometheus_text(store: SampleStore, prefix: str = "repro") -> str:
+#: The exposed metric families: suffix -> (type, help text).
+_PROM_FAMILIES = {
+    "power_watts": ("gauge", "Latest sampled power per sensor channel."),
+    "energy_joules_total": ("counter", "Cumulative energy counter per channel."),
+    "samples_total": ("counter", "Samples ingested per channel."),
+    "degraded_points": ("gauge", "Retained points with a non-ok quality tag."),
+}
+
+
+def _store_samples(
+    store: SampleStore, extra_labels: dict[str, str]
+) -> dict[str, list[str]]:
+    """``family suffix -> sample lines`` for one store (labels pre-applied)."""
+    out: dict[str, list[str]] = {suffix: [] for suffix in _PROM_FAMILIES}
+    for node, name in store.channels():
+        series = store.channel(node, name)
+        _t, watts, joules, _quality = series.latest
+        labels = _label_str(
+            {**extra_labels, "node": str(node), "channel": name}
+        )
+        out["power_watts"].append(f"{labels} {watts:.6g}")
+        out["energy_joules_total"].append(f"{labels} {joules:.6g}")
+        out["samples_total"].append(f"{labels} {series.total_appended}")
+        out["degraded_points"].append(f"{labels} {series.degraded_points()}")
+    return out
+
+
+def _render_families(
+    per_store: list[dict[str, list[str]]], prefix: str
+) -> str:
+    lines: list[str] = []
+    for suffix, (kind, help_text) in _PROM_FAMILIES.items():
+        metric = f"{prefix}_{suffix}"
+        lines.append(f"# HELP {metric} {_escape_help(help_text)}")
+        lines.append(f"# TYPE {metric} {kind}")
+        for samples in per_store:
+            lines.extend(f"{metric}{rest}" for rest in samples[suffix])
+    return "\n".join(lines) + "\n"
+
+
+def prometheus_text(
+    store: SampleStore,
+    prefix: str = "repro",
+    extra_labels: dict[str, str] | None = None,
+) -> str:
     """Render the store's current state in Prometheus text format.
 
     Exposes, per ``(node, channel)``: the newest power reading as a gauge,
     the cumulative energy counter, total samples ingested, and how many
-    retained points carry a non-``ok`` quality tag.
+    retained points carry a non-``ok`` quality tag.  ``extra_labels`` are
+    added to every sample (the telemetry service scrapes with a
+    ``tenant`` label); every ``# HELP``/``# TYPE`` header appears exactly
+    once per metric family and label values are escaped per the
+    exposition format.
     """
-    gauges: list[str] = []
-    energy: list[str] = []
-    samples: list[str] = []
-    degraded: list[str] = []
-    for node, name in store.channels():
-        series = store.channel(node, name)
-        t, watts, joules, _quality = series.latest
-        labels = _label_str({"node": str(node), "channel": name})
-        gauges.append(f"{prefix}_power_watts{labels} {watts:.6g}")
-        energy.append(f"{prefix}_energy_joules_total{labels} {joules:.6g}")
-        samples.append(
-            f"{prefix}_samples_total{labels} {series.total_appended}"
-        )
-        degraded.append(
-            f"{prefix}_degraded_points{labels} {series.degraded_points()}"
-        )
-    lines = [
-        f"# HELP {prefix}_power_watts Latest sampled power per sensor channel.",
-        f"# TYPE {prefix}_power_watts gauge",
-        *gauges,
-        f"# HELP {prefix}_energy_joules_total Cumulative energy counter per channel.",
-        f"# TYPE {prefix}_energy_joules_total counter",
-        *energy,
-        f"# HELP {prefix}_samples_total Samples ingested per channel.",
-        f"# TYPE {prefix}_samples_total counter",
-        *samples,
-        f"# HELP {prefix}_degraded_points Retained points with a non-ok quality tag.",
-        f"# TYPE {prefix}_degraded_points gauge",
-        *degraded,
+    return _render_families([_store_samples(store, extra_labels or {})], prefix)
+
+
+def prometheus_text_multi(
+    stores: dict[str, SampleStore], prefix: str = "repro"
+) -> str:
+    """One exposition document over many tenant stores.
+
+    ``stores`` maps a tenant name to its store; samples carry a
+    ``tenant`` label and each metric family keeps a single
+    ``# HELP``/``# TYPE`` header (repeating headers per tenant would be
+    an invalid exposition).  Tenants render in sorted order.
+    """
+    per_store = [
+        _store_samples(stores[tenant], {"tenant": tenant})
+        for tenant in sorted(stores)
     ]
-    return "\n".join(lines) + "\n"
+    return _render_families(per_store, prefix)
 
 
 def write_prometheus(

@@ -13,15 +13,21 @@ from __future__ import annotations
 
 from collections import deque
 
-from repro.errors import MeasurementError
+from repro.errors import ConfigurationError, MeasurementError
 
 
 class RollingMean:
     """Arithmetic mean of the samples inside a trailing time window."""
 
     def __init__(self, window_s: float) -> None:
+        # A zero or negative window is a configuration mistake (every
+        # sample would be evicted the moment it arrives, so the "mean"
+        # would never describe anything): reject it with the typed
+        # configuration error instead of serving vacuous values.
         if window_s <= 0:
-            raise MeasurementError("rolling window must be positive")
+            raise ConfigurationError(
+                f"rolling window must be positive, got {window_s!r}"
+            )
         self.window_s = float(window_s)
         self._samples: deque[tuple[float, float]] = deque()
         self._sum = 0.0

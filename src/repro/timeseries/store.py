@@ -285,21 +285,33 @@ class ChannelSeries:
         # one instant) fall back to the arithmetic mean.
         rate = np.divide(j1 - j0, np.where(span > 0, span, 1.0))
         mean = np.where(span > 0, rate, w.mean(axis=1))
-        if self._buckets.free < num_buckets:
-            self._drain_buckets(num_buckets)
-        self._buckets.extend(
-            {
-                "t0": t0,
-                "t1": t1,
-                "watts_mean": mean,
-                "watts_min": w.min(axis=1),
-                "watts_max": w.max(axis=1),
-                "joules0": j0,
-                "joules1": j1,
-                "count": np.full(num_buckets, self.bucket_size, dtype=np.int64),
-                "quality": q.max(axis=1),
-            }
-        )
+        columns = {
+            "t0": t0,
+            "t1": t1,
+            "watts_mean": mean,
+            "watts_min": w.min(axis=1),
+            "watts_max": w.max(axis=1),
+            "joules0": j0,
+            "joules1": j1,
+            "count": np.full(num_buckets, self.bucket_size, dtype=np.int64),
+            "quality": q.max(axis=1),
+        }
+        # One drain can produce more buckets than the bucket tier holds
+        # (a raw ring much wider than the bucket tier, or one oversized
+        # batch streaming straight through): insert in chunks, compressing
+        # the oldest buckets ahead of each chunk, instead of asking the
+        # tier to absorb the whole drain at once and overflowing it.
+        pos = 0
+        while pos < num_buckets:
+            if self._buckets.free == 0:
+                self._drain_buckets(
+                    min(num_buckets - pos, max(1, self._buckets.capacity // 2))
+                )
+            take = min(self._buckets.free, num_buckets - pos)
+            self._buckets.extend(
+                {name: arr[pos : pos + take] for name, arr in columns.items()}
+            )
+            pos += take
 
     def _drain_buckets(self, need: int) -> None:
         """Compress the oldest buckets into LTTB-selected points."""
@@ -332,6 +344,18 @@ class ChannelSeries:
     def nbytes(self) -> int:
         """Current buffer memory of this channel."""
         return self._raw.nbytes + self._buckets.nbytes + self._lttb.nbytes
+
+    def memory_cap_bytes(self) -> int:
+        """Worst-case buffer memory of this channel (all tiers full)."""
+        raw_row = sum(np.dtype(d).itemsize for d in self._RAW_FIELDS.values())
+        bucket_row = sum(
+            np.dtype(d).itemsize for d in self._BUCKET_FIELDS.values()
+        )
+        return (
+            self._raw.capacity * raw_row
+            + self._buckets.capacity * bucket_row
+            + self._lttb.capacity * raw_row
+        )
 
     @property
     def latest(self) -> tuple[float, float, float, str]:

@@ -73,9 +73,12 @@ class TestRollingMean:
         with pytest.raises(MeasurementError):
             rm.add(1.0, 1.0)
 
-    def test_nonpositive_window_rejected(self):
-        with pytest.raises(MeasurementError):
-            RollingMean(0.0)
+    @pytest.mark.parametrize("window", [0.0, -1.0, -0.001])
+    def test_nonpositive_window_rejected(self, window):
+        # A vacuous window is a configuration mistake, not a bad
+        # measurement: it must raise the typed ConfigurationError.
+        with pytest.raises(ConfigurationError, match="must be positive"):
+            RollingMean(window)
 
 
 class TestGovernorConfig:

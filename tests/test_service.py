@@ -1,0 +1,515 @@
+"""Telemetry service tests: protocol, tenants, loopback server, collector.
+
+The deterministic core (framing, validation, queue accounting) is tested
+synchronously; the asyncio server is exercised over real loopback
+sockets through :class:`ServiceThread`, exactly as the CLI and the load
+harness use it.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.config import CSCS_A100, OBSERVABILITY_CASES
+from repro.errors import ConfigurationError
+from repro.experiments.runner import run_scaled_experiment
+from repro.instrumentation.reporting import service_qc_summary
+from repro.service import (
+    LoadSpec,
+    ServiceClient,
+    ServiceCollector,
+    ServiceThread,
+    SyntheticSource,
+    Tenant,
+    TenantConfig,
+    TenantRegistry,
+    endpoint_tenant,
+    http_get_json,
+    http_get_text,
+    http_post_json,
+    parse_endpoint,
+    run_load,
+)
+from repro.service import protocol
+from repro.service.protocol import ProtocolError
+from repro.timeseries import TimeseriesCollector
+
+
+def _columns(n=8, t0=0.0, watts=100.0):
+    t = [t0 + 0.1 * k for k in range(n)]
+    return {
+        "t": t,
+        "watts": [watts] * n,
+        "joules": [watts * (x - t[0]) for x in t],
+    }
+
+
+def _parsed(n=8, t0=0.0):
+    return protocol.parse_batch(
+        protocol.batch_message(0, {"p": _columns(n, t0)})
+    )[1]
+
+
+class TestProtocol:
+    def test_roundtrip_single_frame(self):
+        message = protocol.hello_message("acme", "test", "shed")
+        decoder = protocol.FrameDecoder()
+        out = decoder.feed(protocol.encode_frame(message))
+        assert out == [message]
+        assert decoder.pending_bytes == 0
+
+    def test_roundtrip_byte_by_byte(self):
+        messages = [
+            protocol.hello_message("a"),
+            protocol.batch_message(3, {"p": _columns(4)}),
+            protocol.sync_message(),
+        ]
+        wire = b"".join(protocol.encode_frame(m) for m in messages)
+        decoder = protocol.FrameDecoder()
+        out = []
+        for i in range(len(wire)):
+            out.extend(decoder.feed(wire[i : i + 1]))
+        assert out == messages
+
+    def test_oversized_frame_rejected_before_buffering(self):
+        decoder = protocol.FrameDecoder()
+        header = (protocol.MAX_FRAME_BYTES + 1).to_bytes(4, "big")
+        with pytest.raises(ProtocolError, match="ceiling"):
+            decoder.feed(header)
+
+    def test_payload_must_be_object_with_kind(self):
+        bad = json.dumps([1, 2]).encode()
+        frame = len(bad).to_bytes(4, "big") + bad
+        with pytest.raises(ProtocolError, match="kind"):
+            protocol.FrameDecoder().feed(frame)
+
+    def test_payload_must_be_json(self):
+        frame = len(b"nope").to_bytes(4, "big") + b"nope"
+        with pytest.raises(ProtocolError, match="not JSON"):
+            protocol.FrameDecoder().feed(frame)
+
+    def test_hello_validation(self):
+        with pytest.raises(ProtocolError, match="backpressure"):
+            protocol.hello_message("a", backpressure="drop")
+        with pytest.raises(ProtocolError, match="tenant"):
+            protocol.hello_message("")
+
+    def test_batch_columns_quality_defaults_ok(self):
+        t, watts, joules, quality = protocol.batch_columns(_columns(4))
+        assert len(t) == 4
+        assert quality.dtype == np.uint8
+        assert not quality.any()
+
+    @pytest.mark.parametrize(
+        "mutate, match",
+        [
+            (lambda c: c.pop("watts"), "malformed"),
+            (lambda c: c["watts"].pop(), "equal length"),
+            (lambda c: c.update(t=[]), "equal length"),
+            (lambda c: c.update(t=list(reversed(c["t"]))), "non-decreasing"),
+            (lambda c: c.update(t=c["t"], watts=["x"] * 8), "malformed"),
+        ],
+    )
+    def test_batch_columns_rejections(self, mutate, match):
+        cols = _columns()
+        mutate(cols)
+        with pytest.raises(ProtocolError, match=match):
+            protocol.batch_columns(cols)
+
+    def test_batch_with_no_samples_rejected(self):
+        empty = {"t": [], "watts": [], "joules": []}
+        with pytest.raises(ProtocolError, match="no samples"):
+            protocol.batch_columns(empty)
+
+    def test_parse_batch_rejections(self):
+        with pytest.raises(ProtocolError, match="expected a batch"):
+            protocol.parse_batch(protocol.sync_message())
+        with pytest.raises(ProtocolError, match="node"):
+            protocol.parse_batch({"kind": "batch", "channels": {"p": _columns()}})
+        with pytest.raises(ProtocolError, match="no channels"):
+            protocol.parse_batch({"kind": "batch", "node": 0, "channels": {}})
+
+    def test_parse_endpoint(self):
+        assert parse_endpoint("tcp://10.0.0.1:9000") == ("10.0.0.1", 9000)
+        assert parse_endpoint("http://localhost:81/") == ("localhost", 81)
+        assert parse_endpoint(":7777") == ("127.0.0.1", 7777)
+        assert parse_endpoint("telemetry://10.0.0.1:9000/demo") == (
+            "10.0.0.1",
+            9000,
+        )
+        with pytest.raises(ConfigurationError):
+            parse_endpoint("no-port")
+        with pytest.raises(ConfigurationError):
+            parse_endpoint("host:abc")
+
+    def test_endpoint_tenant(self):
+        assert endpoint_tenant("telemetry://10.0.0.1:9000/demo") == "demo"
+        assert endpoint_tenant("tcp://10.0.0.1:9000") is None
+        assert endpoint_tenant("host:9000/") is None
+
+
+class TestTenantAccounting:
+    def test_offer_drain_identity(self):
+        tenant = Tenant("a", TenantConfig(max_pending_samples=100))
+        assert tenant.offer(0, _parsed(8))
+        assert tenant.pending_samples == 8
+        assert tenant.drain() == 8
+        c = tenant.counters
+        assert (c.samples_offered, c.samples_ingested) == (8, 8)
+        assert c.samples_shed == c.samples_rejected == 0
+
+    def test_shed_with_accounting_on_overflow(self):
+        tenant = Tenant("a", TenantConfig(max_pending_samples=20))
+        assert tenant.offer(0, _parsed(16))
+        assert tenant.saturated is False
+        # 16 + 16 > 20: the second batch is shed, with accounting.
+        assert not tenant.offer(0, _parsed(16, t0=10.0))
+        c = tenant.counters
+        assert c.samples_offered == 32
+        assert c.samples_shed == 16
+        assert c.batches_shed == 1
+        # Identity: offered == ingested + pending + shed + rejected.
+        assert c.samples_offered == (
+            c.samples_ingested
+            + tenant.pending_samples
+            + c.samples_shed
+            + c.samples_rejected
+        )
+
+    def test_regressed_timestamps_rejected_on_drain(self):
+        tenant = Tenant("a")
+        tenant.offer(0, _parsed(8, t0=100.0))
+        tenant.offer(0, _parsed(8, t0=0.0))  # regresses: store will refuse
+        tenant.drain()
+        c = tenant.counters
+        assert c.samples_ingested == 8
+        assert c.samples_rejected == 8
+        assert c.rejection_reasons  # the exception type is recorded
+
+    def test_reject_records_reason(self):
+        tenant = Tenant("a")
+        tenant.reject("bad columns", 5)
+        tenant.reject("bad columns", 3)
+        assert tenant.counters.rejection_reasons == {"bad columns": 2}
+        assert tenant.counters.samples_rejected == 8
+
+    def test_empty_tenant_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Tenant("")
+
+    def test_nonpositive_queue_bound_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TenantConfig(max_pending_samples=0)
+
+    def test_memory_cap_holds_under_sustained_ingest(self):
+        config = TenantConfig(
+            raw_capacity=256,
+            bucket_size=8,
+            bucket_capacity=64,
+            lttb_capacity=32,
+            max_pending_samples=10_000,
+        )
+        tenant = Tenant("a", config)
+        for b in range(40):
+            tenant.offer(0, _parsed(100, t0=100.0 * b))
+            tenant.drain()
+        snap = tenant.snapshot()
+        assert snap["store_bytes"] <= snap["memory_cap_bytes"]
+        assert snap["samples_ingested"] == 4000
+
+    def test_registry_summary_is_deterministic(self):
+        def build():
+            registry = TenantRegistry()
+            for name in ("beta", "alpha"):
+                tenant = registry.get_or_create(name)
+                tenant.offer(0, _parsed(8))
+                tenant.drain()
+            return registry.accounting_summary()
+
+        first, second = build(), build()
+        assert first == second
+        lines = first.splitlines()
+        assert "tenant" in lines[0] and "bytes<=cap" in lines[0]
+        # Tenants listed sorted, not in creation order.
+        assert lines[1].split()[0] == "alpha"
+        assert lines[2].split()[0] == "beta"
+
+    def test_registry_unknown_tenant(self):
+        with pytest.raises(ConfigurationError, match="unknown tenant"):
+            TenantRegistry().get("ghost")
+
+
+class TestServiceQcSummary:
+    def test_ok_verdict(self):
+        tenant = Tenant("a")
+        tenant.offer(0, _parsed(8))
+        tenant.drain()
+        text = service_qc_summary([tenant.snapshot()])
+        assert text.startswith("Service QC: ok")
+        assert "8 of 8" in text
+
+    def test_degraded_lists_tenants(self):
+        tenant = Tenant("a", TenantConfig(max_pending_samples=10))
+        tenant.offer(0, _parsed(8))
+        tenant.offer(0, _parsed(8, t0=10.0))  # shed
+        tenant.drain()
+        text = service_qc_summary([tenant.snapshot()])
+        assert "DEGRADED" in text
+        assert "a: shed 8" in text
+
+    def test_watch_drops_reported(self):
+        tenant = Tenant("a")
+        text = service_qc_summary(
+            [tenant.snapshot()], {"a": 5}, {"a": 2}
+        )
+        assert "2 frames dropped" in text
+
+    def test_no_tenants(self):
+        assert service_qc_summary([]) == "Service QC: no tenants"
+
+
+@pytest.fixture(scope="module")
+def service():
+    """One loopback service shared by the HTTP/stream round-trip tests."""
+    with ServiceThread(tenant_config=TenantConfig()) as handle:
+        yield handle
+
+
+class TestServerRoundTrip:
+    def test_publish_sync_query_energy(self, service):
+        with ServiceClient(service.host, service.port, "rt") as client:
+            client.publish(7, {"cpu": _columns(50, watts=100.0)})
+            ack = client.sync()
+        assert ack["samples_ingested"] == 50
+        energy = http_get_json(
+            service.host,
+            service.http_port,
+            "/query/energy?tenant=rt&node=7&channel=cpu&t0=0&t1=4.9",
+        )
+        # The store interpolates cumulative-joules knots: exact energy.
+        assert energy["joules"] == pytest.approx(490.0, abs=1e-9)
+
+    def test_range_query_returns_columns(self, service):
+        with ServiceClient(service.host, service.port, "rq") as client:
+            client.publish(1, {"gpu": _columns(20, watts=50.0)})
+            client.sync()
+        out = http_get_json(
+            service.host,
+            service.http_port,
+            "/query/range?tenant=rq&node=1&channel=gpu",
+        )
+        assert out["n"] == 20
+        assert len(out["t"]) == len(out["watts"]) == len(out["joules"]) == 20
+        assert set(out["tier"]) <= {0, 1, 2}
+
+    def test_healthz_and_404(self, service):
+        assert http_get_text(service.host, service.http_port, "/healthz") == "ok"
+        from repro.service.client import http_request
+
+        status, _ = http_request(service.host, service.http_port, "/nope")
+        assert status == 404
+
+    def test_unknown_tenant_is_400(self, service):
+        from repro.service.client import http_request
+
+        status, body = http_request(
+            service.host,
+            service.http_port,
+            "/query/range?tenant=ghost&node=0&channel=x",
+        )
+        assert status == 400
+        assert b"unknown tenant" in body
+
+    def test_http_ingest_single_list_and_batches(self, service):
+        host, port = service.host, service.http_port
+        batch = protocol.batch_message(0, {"p": _columns(4)})
+        out = http_post_json(host, port, "/ingest?tenant=hi", batch)
+        assert out["accepted"] == 1
+        out = http_post_json(
+            host,
+            port,
+            "/ingest?tenant=hi",
+            [protocol.batch_message(0, {"p": _columns(4, t0=10.0)})],
+        )
+        assert out["accepted"] == 1
+        out = http_post_json(
+            host,
+            port,
+            "/ingest?tenant=hi",
+            {"batches": [protocol.batch_message(0, {"p": _columns(4, t0=20.0)})]},
+        )
+        assert out["accepted"] == 1
+        assert out["samples_ingested"] == 12
+
+    def test_http_ingest_malformed_batch_accounted(self, service):
+        out = http_post_json(
+            service.host,
+            service.http_port,
+            "/ingest?tenant=bad",
+            {"kind": "batch", "node": 0, "channels": {"p": {"t": [1, 0]}}},
+        )
+        assert out["rejected"] == 1
+        assert out["batches_rejected"] == 1
+
+    def test_tenants_endpoint_lists_sorted(self, service):
+        out = http_get_json(service.host, service.http_port, "/tenants")
+        names = [s["tenant"] for s in out["tenants"]]
+        assert names == sorted(names)
+        assert "watch_frames_sent" in out
+
+    def test_wrong_protocol_version_gets_error_frame(self, service):
+        import socket as socketlib
+
+        hello = protocol.hello_message("v")
+        hello["protocol"] = 999
+        sock = socketlib.create_connection(
+            (service.host, service.port), timeout=10
+        )
+        try:
+            sock.sendall(protocol.encode_frame(hello))
+            decoder = protocol.FrameDecoder()
+            frames = []
+            while not frames:
+                frames = decoder.feed(sock.recv(65536))
+            assert frames[0]["kind"] == "error"
+            assert "protocol version" in frames[0]["message"]
+        finally:
+            sock.close()
+
+    def test_wait_mode_never_sheds(self):
+        # A queue bound far smaller than the published volume: wait-mode
+        # backpressure must absorb it all without shedding a sample.
+        config = TenantConfig(max_pending_samples=64)
+        with ServiceThread(tenant_config=config) as handle:
+            with ServiceClient(
+                handle.host, handle.port, "w", backpressure="wait"
+            ) as client:
+                for b in range(20):
+                    client.publish(0, {"p": _columns(32, t0=3.2 * b)})
+                ack = client.sync()
+        assert ack["samples_shed"] == 0
+        assert ack["samples_ingested"] == 640
+
+
+class TestPrometheusScrape:
+    def test_metrics_endpoint_multi_tenant(self, service):
+        with ServiceClient(service.host, service.port, "promA") as client:
+            client.publish(0, {"node": _columns(5)})
+            client.sync()
+        with ServiceClient(service.host, service.port, "promB") as client:
+            client.publish(0, {"node": _columns(5)})
+            client.sync()
+        text = http_get_text(service.host, service.http_port, "/metrics")
+        assert 'tenant="promA"' in text and 'tenant="promB"' in text
+        # One HELP/TYPE header per metric family, no matter how many
+        # tenants export it.
+        assert text.count("# TYPE repro_power_watts gauge") == 1
+        assert text.count("# HELP repro_power_watts") == 1
+        assert text.count("# TYPE repro_energy_joules_total counter") == 1
+
+
+class TestServiceCollectorZeroPerturbation:
+    """The publisher must not move a single measured joule."""
+
+    CASE = OBSERVABILITY_CASES["Sedov Blast"]
+
+    def _run(self, collector=None):
+        return run_scaled_experiment(
+            CSCS_A100,
+            self.CASE,
+            4,
+            num_steps=6,
+            timeseries=True,
+            collector=collector,
+        )
+
+    def test_publisher_on_off_bit_identical(self, tmp_path):
+        baseline = self._run()
+        with ServiceThread() as handle:
+            client = ServiceClient(handle.host, handle.port, "exp")
+            collector = ServiceCollector(client, batch_ticks=16)
+            published = self._run(collector=collector)
+            ack = collector.close()
+
+        # Per-region energies and every other measured quantity agree
+        # bit-for-bit: compare the serialized measurement records.
+        path_a, path_b = tmp_path / "a.json", tmp_path / "b.json"
+        baseline.run.write(path_a)
+        published.run.write(path_b)
+        assert path_a.read_bytes() == path_b.read_bytes()
+
+        # The local stores retained identical telemetry too.
+        store_a = baseline.timeseries.store
+        store_b = published.timeseries.store
+        assert store_a.num_samples == store_b.num_samples
+        for node, name in store_a.channels():
+            sa = store_a.channel(node, name).points()
+            sb = store_b.channel(node, name).points()
+            np.testing.assert_array_equal(sa["t"], sb["t"])
+            np.testing.assert_array_equal(sa["joules"], sb["joules"])
+
+        # And the service ingested everything the collector retained.
+        assert ack["samples_ingested"] == store_b.num_samples
+        assert ack["samples_shed"] == 0
+
+    def test_collector_batches_and_flushes(self):
+        with ServiceThread() as handle:
+            client = ServiceClient(handle.host, handle.port, "fl")
+            collector = ServiceCollector(client, batch_ticks=1000)
+            self._run(collector=collector)
+            # Nothing shipped yet (batch_ticks larger than the run).
+            assert client.published_samples == 0
+            ack = collector.close()
+        assert ack["samples_ingested"] == collector.store.num_samples
+        assert ack["samples_ingested"] > 0
+
+    def test_batch_ticks_validated(self):
+        with ServiceThread() as handle:
+            client = ServiceClient(handle.host, handle.port, "bt")
+            with pytest.raises(ConfigurationError):
+                ServiceCollector(client, batch_ticks=0)
+            client.close()
+
+
+class TestLoadHarness:
+    SPEC = LoadSpec(
+        name="test 2x3",
+        tenants=2,
+        nodes_per_tenant=3,
+        channels_per_node=1,
+        rate_hz=100.0,
+        batch_samples=40,
+        batches_per_node=3,
+        queries=6,
+        query_workers=2,
+    )
+
+    def test_synthetic_source_is_deterministic(self):
+        a = SyntheticSource("t", 1, "p", 1000.0)
+        b = SyntheticSource("t", 1, "p", 1000.0)
+        assert a.batch(64) == b.batch(64)
+        other = SyntheticSource("t", 2, "p", 1000.0)
+        assert a.batch(64) != other.batch(64)
+
+    def test_synthetic_source_energy_is_cumulative(self):
+        src = SyntheticSource("t", 0, "p", 1000.0)
+        first, second = src.batch(32), src.batch(32)
+        joules = first["joules"] + second["joules"]
+        assert joules == sorted(joules)
+        assert second["t"][0] > first["t"][-1] - 1e-12
+
+    def test_run_load_accounting(self):
+        report = run_load(self.SPEC)
+        assert report.accounting_identity_holds
+        assert report.memory_within_cap
+        assert report.ingested_samples == self.SPEC.total_samples
+        assert report.shed_samples == 0
+        assert report.queries_served > 0
+        assert report.samples_per_sec is None  # no timer injected
+
+    def test_run_load_deterministic_text(self):
+        first = run_load(self.SPEC).deterministic_text()
+        second = run_load(self.SPEC).deterministic_text()
+        assert first == second
+        assert "accounting identity: True" in first

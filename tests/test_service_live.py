@@ -1,0 +1,221 @@
+"""Live-path tests: scripted LiveView frames, SSE watch, watch/serve CLI.
+
+Everything that streams: the sparkline dashboard fed by scripted ticks,
+the service's SSE live-watch endpoint over loopback, and the ``watch
+--url`` / ``publish`` / ``serve`` CLI flows attached to a local service
+(runs under the deterministic virtual clock)."""
+
+import re
+import signal
+import subprocess
+import sys
+import threading
+
+from repro.cli import main
+from repro.service import (
+    ServiceClient,
+    ServiceThread,
+    http_get_json,
+    watch_sse,
+)
+from repro.timeseries import LiveView, TimeseriesCollector
+
+#: The sparkline alphabet, lowest bar first (see analysis.ascii_plot).
+BARS = "▁▂▃▄▅▆▇█"
+
+
+def _ramp_columns(n=32, t0=0.0, lo=10.0, hi=100.0):
+    t = [t0 + 0.5 * k for k in range(n)]
+    watts = [lo + (hi - lo) * k / (n - 1) for k in range(n)]
+    joules, total = [], 0.0
+    for k in range(n):
+        total = total + watts[k] * 0.5
+        joules.append(total)
+    return {"t": t, "watts": watts, "joules": joules}
+
+
+class TestScriptedLiveView:
+    def _collector(self, watts_of_k, n=24):
+        collector = TimeseriesCollector()
+        joules = 0.0
+        for k in range(n):
+            w = watts_of_k(k)
+            joules = joules + w * 1.0
+            collector.store.record(0, "node", float(k), w, joules)
+        return collector
+
+    def test_ramp_renders_monotone_sparkline(self):
+        collector = self._collector(lambda k: 10.0 + 10.0 * k)
+        frame = LiveView(collector, width=24).render()
+        line = next(ln for ln in frame.splitlines() if "node0" in ln)
+        spark = line.split("|")[1].strip()
+        levels = [BARS.index(c) for c in spark]
+        assert levels == sorted(levels), f"ramp must render monotone: {spark}"
+        assert spark[0] == BARS[0] and spark[-1] == BARS[-1]
+
+    def test_constant_power_renders_flat(self):
+        collector = self._collector(lambda k: 150.0)
+        frame = LiveView(collector, width=16).render()
+        line = next(ln for ln in frame.splitlines() if "node0" in ln)
+        spark = line.split("|")[1].strip()
+        assert len(set(spark)) == 1, f"flat feed must render flat: {spark}"
+        assert "150.0 W" in line
+
+    def test_width_bounds_the_window(self):
+        collector = self._collector(lambda k: float(k), n=100)
+        frame = LiveView(collector, width=8).render()
+        line = next(ln for ln in frame.splitlines() if "node0" in ln)
+        assert len(line.split("|")[1]) == 8
+
+    def test_header_counts_scripted_ticks(self):
+        collector = self._collector(lambda k: 100.0, n=24)
+        frame = LiveView(collector, width=8).render()
+        assert "samples=24" in frame
+        assert "channels=1" in frame
+
+
+class TestSseWatch:
+    def test_immediate_first_frame_on_empty_tenant(self):
+        with ServiceThread() as handle:
+            frames = list(
+                watch_sse(
+                    handle.host, handle.http_port, "empty",
+                    max_frames=1, timeout_s=10.0,
+                )
+            )
+        assert len(frames) == 1
+        assert frames[0]["tenant"] == "empty"
+        assert frames[0]["samples"] == 0
+        assert "no samples" in frames[0]["frame"]
+
+    def test_frames_follow_ingest(self):
+        with ServiceThread() as handle:
+
+            def feed():
+                with ServiceClient(handle.host, handle.port, "sse") as c:
+                    c.publish(0, {"node": _ramp_columns(32)})
+                    c.sync()
+
+            thread = threading.Thread(target=feed, daemon=True)
+            frames = list(
+                watch_sse(
+                    handle.host, handle.http_port, "sse",
+                    every=1, width=16, max_frames=2, timeout_s=10.0,
+                    on_connect=thread.start,
+                )
+            )
+            thread.join()
+            ledger = http_get_json(handle.host, handle.http_port, "/tenants")
+        assert len(frames) == 2
+        # First frame is the immediate attach snapshot; the second one
+        # reflects the applied batch.
+        assert frames[1]["samples"] == 32
+        assert "node0" in frames[1]["frame"]
+        assert ledger["watch_frames_sent"].get("sse", 0) >= 1
+
+    def test_every_throttles_frames(self):
+        with ServiceThread() as handle:
+
+            def feed():
+                with ServiceClient(handle.host, handle.port, "thr") as c:
+                    for b in range(4):
+                        c.publish(0, {"node": _ramp_columns(8, t0=4.0 * b)})
+                    c.sync()
+
+            thread = threading.Thread(target=feed, daemon=True)
+            frames = list(
+                watch_sse(
+                    handle.host, handle.http_port, "thr",
+                    every=32, max_frames=2, timeout_s=10.0,
+                    on_connect=thread.start,
+                )
+            )
+            thread.join()
+        # 32 samples between frames over a 32-sample feed: exactly one
+        # post-attach frame.
+        assert frames[1]["samples"] == 32
+
+
+class TestWatchCli:
+    def test_watch_url_streams_and_exits(self, capsys):
+        with ServiceThread() as handle:
+
+            def feed():
+                main([
+                    "publish",
+                    "--url", f"{handle.host}:{handle.port}",
+                    "--tenant", "live",
+                    "--cards", "4",
+                    "--steps", "4",
+                ])
+
+            thread = threading.Thread(target=feed, daemon=True)
+            thread.start()
+            rc = main([
+                "watch",
+                "--url", f"{handle.host}:{handle.http_port}",
+                "--tenant", "live",
+                "--frames", "2",
+                "--every", "10",
+            ])
+            thread.join()
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "[live]" in out
+        assert "watch closed after 2 frames" in out
+        assert "Service QC: ok" in out  # the publisher's ledger
+
+    def test_watch_url_requires_tenant(self, capsys):
+        rc = main(["watch", "--url", "127.0.0.1:1"])
+        assert rc == 1
+        assert "needs --tenant" in capsys.readouterr().err
+
+
+class TestPublishCli:
+    def test_publish_reports_clean_ledger(self, capsys):
+        with ServiceThread() as handle:
+            rc = main([
+                "publish",
+                "--url", f"{handle.host}:{handle.port}",
+                "--tenant", "pub",
+                "--cards", "4",
+                "--steps", "4",
+            ])
+            snap = http_get_json(handle.host, handle.http_port, "/tenants")
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "published to" in out
+        assert "Service QC: ok" in out
+        tenant = next(s for s in snap["tenants"] if s["tenant"] == "pub")
+        assert tenant["samples_ingested"] > 0
+        assert tenant["samples_shed"] == 0
+
+    def test_publish_bad_endpoint_is_typed_error(self, capsys):
+        rc = main(["publish", "--url", "nowhere", "--steps", "4"])
+        assert rc == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestServeCli:
+    def test_serve_subprocess_roundtrip(self):
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve"],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            env={"PYTHONPATH": "src", "PATH": "/usr/bin:/bin"},
+        )
+        try:
+            banner = proc.stdout.readline()
+            match = re.search(r"stream :(\d+), http :(\d+)", banner)
+            assert match, banner
+            with ServiceClient("127.0.0.1", int(match.group(1)), "t0") as c:
+                c.publish(0, {"p": _ramp_columns(8)})
+                ack = c.sync()
+            assert ack["samples_ingested"] == 8
+        finally:
+            proc.send_signal(signal.SIGINT)
+            out, _ = proc.communicate(timeout=60)
+        assert proc.returncode == 0
+        assert "Service QC: ok" in out
+        assert "bytes<=cap" in out  # the final accounting summary table

@@ -274,6 +274,60 @@ class TestDownsampledIntegralProperty:
             assert abs(tier_energy - want) <= 0.01 * max(total, 1.0)
 
 
+class TestOversizedBatchProperty:
+    """One batch larger than the raw ring must stream through cleanly.
+
+    A wire batch (the telemetry service's ingest unit) can be wider than
+    the raw tier, and a raw drain can then produce more buckets than the
+    bucket tier holds in total.  Demotion must chunk through both tiers
+    instead of overflowing, the memory cap must hold at every instant,
+    and the full-range energy must survive exactly.
+    """
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        bucket_size=st.integers(1, 16),
+        raw_mult=st.integers(2, 8),
+        bucket_capacity=st.integers(1, 48),
+        batch_mult=st.integers(2, 20),
+        watts=st.floats(min_value=1.0, max_value=900.0),
+    )
+    def test_single_oversized_batch_at_the_memory_cap(
+        self, bucket_size, raw_mult, bucket_capacity, batch_mult, watts
+    ):
+        raw_capacity = bucket_size * raw_mult
+        ch = ChannelSeries(
+            raw_capacity=raw_capacity,
+            bucket_size=bucket_size,
+            bucket_capacity=bucket_capacity,
+            lttb_capacity=8,
+        )
+        cap = ch.memory_cap_bytes()
+        n = raw_capacity * batch_mult  # strictly wider than the raw ring
+        times = np.linspace(0.0, 100.0, n)
+        joules = watts * times
+        ch.extend(times, np.full(n, watts), joules)
+        assert ch.total_appended == n
+        assert ch.nbytes <= cap
+        # Both endpoints are retained knots: full-range energy is exact.
+        assert ch.energy_between(0.0, 100.0) == pytest.approx(
+            float(joules[-1]), rel=1e-12
+        )
+
+    def test_repeated_oversized_batches_stay_capped(self):
+        ch = ChannelSeries(
+            raw_capacity=64, bucket_size=8, bucket_capacity=8, lttb_capacity=16
+        )
+        cap = ch.memory_cap_bytes()
+        t0 = 0.0
+        for _ in range(20):
+            times = np.linspace(t0, t0 + 10.0, 500)
+            ch.extend(times, np.full(500, 100.0), 100.0 * times)
+            t0 += 10.0
+            assert ch.nbytes <= cap
+        assert ch.total_appended == 10_000
+
+
 # ---------------------------------------------------------------------------
 # SpanRecorder
 # ---------------------------------------------------------------------------

@@ -1,6 +1,7 @@
 """Exporter tests: Chrome-trace round-trip, Prometheus text, determinism."""
 
 import json
+import re
 
 import numpy as np
 import pytest
@@ -16,8 +17,10 @@ from repro.timeseries import (
     SpanRecorder,
     TimeseriesCollector,
     chrome_trace,
+    escape_label_value,
     export_bundle,
     prometheus_text,
+    prometheus_text_multi,
     write_chrome_trace,
     write_csv,
     write_jsonl,
@@ -124,6 +127,69 @@ class TestPrometheus:
     def test_custom_prefix(self):
         store, _ = _small_store()
         assert "myrun_power_watts" in prometheus_text(store, prefix="myrun")
+
+
+#: One sample line of the exposition format: metric{labels} value — the
+#: labels section must be a single line of properly quoted pairs.
+SAMPLE_LINE = re.compile(
+    r'^[a-zA-Z_:][a-zA-Z0-9_:]*\{(?:[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*",?)*\} '
+    r"-?[0-9.eE+\-]+$"
+)
+
+
+class TestPrometheusEscaping:
+    """Hostile channel names must never corrupt the scrape output."""
+
+    HOSTILE = 'gpu"0\\power\nrate'
+
+    def _hostile_store(self):
+        store = SampleStore()
+        store.record(0, self.HOSTILE, 1.0, 50.0, 50.0)
+        return store
+
+    def test_escape_label_value(self):
+        assert escape_label_value("plain") == "plain"
+        assert escape_label_value('a"b') == 'a\\"b'
+        assert escape_label_value("a\\b") == "a\\\\b"
+        assert escape_label_value("a\nb") == "a\\nb"
+        # Backslash escapes first, so the escape of '"' survives intact.
+        assert escape_label_value('\\"') == '\\\\\\"'
+
+    def test_hostile_channel_name_stays_on_one_line(self):
+        text = prometheus_text(self._hostile_store())
+        for line in text.splitlines():
+            if line.startswith("#") or not line:
+                continue
+            assert SAMPLE_LINE.match(line), f"unparseable sample: {line!r}"
+        # The raw newline/quote must not appear unescaped anywhere.
+        assert 'channel="gpu\\"0\\\\power\\nrate"' in text
+
+    def test_hostile_tenant_label_escaped_in_multi(self):
+        stores = {'ten"ant\n1': self._hostile_store()}
+        text = prometheus_text_multi(stores)
+        assert 'tenant="ten\\"ant\\n1"' in text
+        for line in text.splitlines():
+            if line.startswith("#") or not line:
+                continue
+            assert SAMPLE_LINE.match(line), f"unparseable sample: {line!r}"
+
+    def test_multi_single_header_per_family(self):
+        stores = {
+            "a": self._hostile_store(),
+            "b": self._hostile_store(),
+        }
+        text = prometheus_text_multi(stores)
+        assert text.count("# TYPE repro_power_watts gauge") == 1
+        assert text.count("# HELP repro_power_watts") == 1
+        # Both tenants' samples present, tenants sorted.
+        a = text.index('tenant="a"')
+        b = text.index('tenant="b"')
+        assert a < b
+
+    def test_extra_labels_escaped(self):
+        store = _small_store()[0]
+        text = prometheus_text(store, extra_labels={"job": 'x"y'})
+        assert 'job="x\\"y"' in text
 
 
 class TestDumpsAndBundle:

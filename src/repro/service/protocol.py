@@ -20,8 +20,14 @@ Message kinds, client -> server:
   (the explicit backpressure/accounting handshake);
 * ``bye`` — closes the session; the server acks and disconnects.
 
-Server -> client: ``ack`` (counters snapshot) and ``error`` (malformed
-input; the frame is dropped and *counted*, never silently ignored).
+Server -> client: ``ack`` (counters snapshot) and ``error``.  ``error``
+frames answer frame- and session-level violations: an undecodable
+frame, a bad ``hello``, a ``batch`` before ``hello``, an unknown kind.
+A structurally invalid *batch* on an established session is rejected
+ledger-only — counted in the tenant's ``rejected`` counters and visible
+in every ``ack``, but no ``error`` frame is sent, so the hot ingest
+path never stalls behind a publisher that isn't reading.  Either way a
+bad input is counted, never silently ignored.
 """
 
 from __future__ import annotations

@@ -38,7 +38,12 @@ from urllib.parse import parse_qs, urlsplit
 
 from repro.errors import ConfigurationError
 from repro.service import protocol
-from repro.service.tenants import Tenant, TenantConfig, TenantRegistry
+from repro.service.tenants import (
+    Tenant,
+    TenantConfig,
+    TenantRegistry,
+    batch_samples,
+)
 from repro.timeseries.collect import TimeseriesCollector
 from repro.timeseries.export import prometheus_text_multi
 from repro.timeseries.live import LiveView
@@ -110,6 +115,9 @@ class TelemetryService:
         #: Per-tenant live-watch frame ledger (sent/dropped), by name.
         self.watch_frames_sent: dict[str, int] = {}
         self.watch_frames_dropped: dict[str, int] = {}
+        #: Errors swallowed to keep the drainer alive (surfaced on /tenants).
+        self.drain_errors = 0
+        self.last_drain_error: str | None = None
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -163,11 +171,19 @@ class TelemetryService:
         while True:
             await self._work.wait()
             self._work.clear()
-            applied = self.registry.drain_all(DRAIN_CHUNK_BATCHES)
-            if applied:
-                self._push_watch_frames(applied)
-            async with self._drained:
-                self._drained.notify_all()
+            # An escaping exception must never kill the drainer: ingest
+            # would stop being applied and wait-mode publishers would
+            # block forever in _wait_capacity.  Record it and carry on;
+            # waiters are notified no matter what.
+            try:
+                applied = self.registry.drain_all(DRAIN_CHUNK_BATCHES)
+                if any(applied.values()):
+                    self._push_watch_frames(applied)
+            except Exception as exc:  # noqa: BLE001 - drainer must survive
+                self._record_drain_error(exc)
+            finally:
+                async with self._drained:
+                    self._drained.notify_all()
             if any(
                 self.registry.get(name).pending_batches
                 for name in self.registry.names()
@@ -181,30 +197,51 @@ class TelemetryService:
         while tenant.pending_batches:
             applied = tenant.drain(DRAIN_CHUNK_BATCHES)
             if applied:
-                self._push_watch_frames(applied, only_tenant=tenant.name)
+                try:
+                    self._push_watch_frames({tenant.name: applied})
+                except Exception as exc:  # noqa: BLE001 - see _drain_loop
+                    self._record_drain_error(exc)
             async with self._drained:
                 self._drained.notify_all()
             await asyncio.sleep(0)
+
+    def _record_drain_error(self, exc: BaseException) -> None:
+        self.drain_errors += 1
+        self.last_drain_error = f"{type(exc).__name__}: {exc}"
 
     def _kick(self) -> None:
         if self._work is not None:
             self._work.set()
 
-    async def _wait_capacity(self, tenant: Tenant) -> None:
-        """Block (backpressure) until the tenant's queue has room."""
+    async def _wait_capacity(self, tenant: Tenant, num_samples: int) -> None:
+        """Block (backpressure) until ``num_samples`` more samples fit.
+
+        A batch larger than the queue bound itself can never "fit"; for
+        that case waiting ends once the queue is fully drained, and the
+        caller force-enqueues (one-batch overshoot) — wait mode is
+        lossless, so such a batch must land, not shed.
+        """
         assert self._drained is not None
-        while tenant.saturated:
+        while (
+            tenant.pending_samples > 0
+            and tenant.pending_samples + num_samples
+            > tenant.config.max_pending_samples
+        ):
             self._kick()
             async with self._drained:
                 await self._drained.wait()
 
     # -- live watch ----------------------------------------------------------
 
-    def _push_watch_frames(self, applied: int, only_tenant: str | None = None) -> None:
-        for name, watchers in self._watchers.items():
-            if only_tenant is not None and name != only_tenant:
-                continue
-            if not watchers:
+    def _push_watch_frames(self, applied_by_tenant: dict[str, int]) -> None:
+        """Credit each tenant's watchers with that tenant's applied samples.
+
+        A watcher's ``every`` cadence counts only its own tenant's ingest
+        — tenant B's traffic must not make tenant A's watcher emit.
+        """
+        for name, applied in applied_by_tenant.items():
+            watchers = self._watchers.get(name)
+            if not applied or not watchers:
                 continue
             tenant = self.registry.get(name)
             for watcher in watchers:
@@ -326,9 +363,15 @@ class TelemetryService:
         except protocol.ProtocolError as exc:
             tenant.reject(str(exc), protocol.batch_num_samples(message))
             return
-        if backpressure == "wait" and tenant.saturated:
-            await self._wait_capacity(tenant)
-        tenant.offer(node, channels)
+        if backpressure == "wait":
+            # Lossless contract: block until this batch *fits* (not
+            # merely until the queue is unsaturated — a batch straddling
+            # the remaining space would be shed), then enqueue
+            # unconditionally.
+            await self._wait_capacity(tenant, batch_samples(channels))
+            tenant.offer(node, channels, force=True)
+        else:
+            tenant.offer(node, channels)
         self._kick()
 
     def _ack(self, tenant: Tenant | None) -> dict:
@@ -407,6 +450,8 @@ class TelemetryService:
                     "watch_frames_dropped": dict(
                         sorted(self.watch_frames_dropped.items())
                     ),
+                    "drain_errors": self.drain_errors,
+                    "last_drain_error": self.last_drain_error,
                 }
                 await self._respond_json(writer, 200, payload)
             elif method == "GET" and path == "/query/range":
@@ -446,12 +491,25 @@ class TelemetryService:
         return tenant, tenant.store.channel(node, channel)
 
     @staticmethod
-    def _bounds(query: dict, series) -> tuple[float, float]:
+    def _query_number(query: dict, key: str, default, convert):
+        """``convert(query[key])`` or ``default``; a typed 400 on junk."""
+        raw = query.get(key)
+        if raw is None:
+            return default
+        try:
+            return convert(raw)
+        except ValueError:
+            raise ConfigurationError(
+                f"query parameter {key}={raw!r} is not a number"
+            ) from None
+
+    @classmethod
+    def _bounds(cls, query: dict, series) -> tuple[float, float]:
         pts = series.points()
         t_lo = float(pts["t"][0]) if len(pts["t"]) else 0.0
         t_hi = float(pts["t"][-1]) if len(pts["t"]) else 0.0
-        t0 = float(query.get("t0", t_lo))
-        t1 = float(query.get("t1", t_hi))
+        t0 = cls._query_number(query, "t0", t_lo, float)
+        t1 = cls._query_number(query, "t1", t_hi, float)
         return t0, t1
 
     async def _query_range(self, writer: asyncio.StreamWriter, query: dict) -> None:
@@ -535,8 +593,8 @@ class TelemetryService:
         tenant = self.registry.get_or_create(name)
         watcher = _Watcher(
             name,
-            every_samples=int(query.get("every", 1)),
-            width=int(query.get("width", 48)),
+            every_samples=self._query_number(query, "every", 1, int),
+            width=self._query_number(query, "width", 48, int),
         )
         self._watchers.setdefault(name, []).append(watcher)
         task = asyncio.current_task()

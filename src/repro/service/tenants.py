@@ -38,6 +38,11 @@ from repro.timeseries.store import SampleStore
 DEFAULT_MAX_PENDING_SAMPLES = 262_144
 
 
+def batch_samples(channels: dict[str, tuple[np.ndarray, ...]]) -> int:
+    """Total samples one parsed batch carries across its channels."""
+    return sum(len(cols[0]) for cols in channels.values())
+
+
 @dataclass(frozen=True)
 class TenantConfig:
     """Sizing of one tenant's store and write queue."""
@@ -137,16 +142,25 @@ class Tenant:
         return self._pending_samples >= self.config.max_pending_samples
 
     def offer(
-        self, node: int, channels: dict[str, tuple[np.ndarray, ...]]
+        self,
+        node: int,
+        channels: dict[str, tuple[np.ndarray, ...]],
+        *,
+        force: bool = False,
     ) -> bool:
-        """Enqueue one parsed batch; shed (with accounting) when saturated.
+        """Enqueue one parsed batch; shed (with accounting) when it won't fit.
 
         Returns True when the batch was queued, False when it was shed.
+        ``force=True`` enqueues unconditionally — the wait-mode server
+        path uses it after blocking until the batch fits (or the queue
+        drained empty, for a batch larger than the whole bound), so a
+        lossless session may transiently overshoot the bound by at most
+        one batch but never sheds.
         """
-        num = sum(len(cols[0]) for cols in channels.values())
+        num = batch_samples(channels)
         self.counters.batches_offered += 1
         self.counters.samples_offered += num
-        if self._pending_samples + num > self.config.max_pending_samples:
+        if not force and self._pending_samples + num > self.config.max_pending_samples:
             self.counters.batches_shed += 1
             self.counters.samples_shed += num
             return False
@@ -244,12 +258,12 @@ class TenantRegistry:
     def __contains__(self, name: str) -> bool:
         return name in self._tenants
 
-    def drain_all(self, max_batches_per_tenant: int | None = None) -> int:
-        """Drain every tenant (sorted order); returns samples applied."""
-        return sum(
-            self._tenants[name].drain(max_batches_per_tenant)
+    def drain_all(self, max_batches_per_tenant: int | None = None) -> dict[str, int]:
+        """Drain every tenant (sorted order); samples applied per tenant."""
+        return {
+            name: self._tenants[name].drain(max_batches_per_tenant)
             for name in self.names()
-        )
+        }
 
     def stores(self) -> dict[str, SampleStore]:
         """``tenant -> store`` for the multi-tenant Prometheus scrape."""

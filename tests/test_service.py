@@ -391,6 +391,77 @@ class TestServerRoundTrip:
         assert ack["samples_shed"] == 0
         assert ack["samples_ingested"] == 640
 
+    def test_wait_mode_never_sheds_on_straddling_batches(self):
+        # Regression: a batch that straddles the remaining queue space
+        # (32 does not divide 50, so saturation hits mid-batch) must
+        # wait for room, not shed — and a single batch larger than the
+        # whole queue bound must still land losslessly once the queue
+        # drains empty.
+        config = TenantConfig(max_pending_samples=50)
+        with ServiceThread(tenant_config=config) as handle:
+            with ServiceClient(
+                handle.host, handle.port, "w2", backpressure="wait"
+            ) as client:
+                for b in range(10):
+                    client.publish(0, {"p": _columns(32, t0=3.2 * b)})
+                client.publish(0, {"p": _columns(80, t0=32.0)})
+                ack = client.sync()
+        assert ack["samples_shed"] == 0
+        assert ack["samples_ingested"] == 10 * 32 + 80
+
+    def test_malformed_query_params_are_400(self, service):
+        from repro.service.client import http_request
+
+        with ServiceClient(service.host, service.port, "qp") as client:
+            client.publish(0, {"p": _columns(4)})
+            client.sync()
+        status, body = http_request(
+            service.host,
+            service.http_port,
+            "/query/range?tenant=qp&node=0&channel=p&t0=abc",
+        )
+        assert status == 400
+        assert b"t0" in body
+        status, body = http_request(
+            service.host,
+            service.http_port,
+            "/watch?tenant=qp&every=abc",
+        )
+        assert status == 400
+        assert b"every" in body
+
+    def test_drainer_survives_watch_frame_failure(self):
+        # A live-frame rendering failure must not kill the drainer:
+        # ingest keeps being applied and the error is recorded.
+        import asyncio
+
+        from repro.service.server import TelemetryService, _Watcher
+
+        async def run():
+            service = TelemetryService()
+            await service.start()
+            try:
+                tenant = service.registry.get_or_create("t")
+                service._watchers["t"] = [_Watcher("t", 1, 8)]
+
+                def boom(tenant, width):
+                    raise RuntimeError("render exploded")
+
+                service._render_frame = boom
+                for b in range(2):
+                    tenant.offer(0, _parsed(8, t0=10.0 * b))
+                    service._kick()
+                    while tenant.pending_batches:
+                        await asyncio.sleep(0.01)
+            finally:
+                await service.stop()
+            return service, tenant
+
+        service, tenant = asyncio.run(run())
+        assert tenant.counters.samples_ingested == 16
+        assert service.drain_errors >= 1
+        assert "render exploded" in service.last_drain_error
+
 
 class TestPrometheusScrape:
     def test_metrics_endpoint_multi_tenant(self, service):

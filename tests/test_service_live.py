@@ -135,6 +135,36 @@ class TestSseWatch:
         # post-attach frame.
         assert frames[1]["samples"] == 32
 
+    def test_watcher_not_credited_by_other_tenants(self):
+        # Regression: a watcher's `every` cadence counts only its own
+        # tenant's ingest — tenant "other"'s 32 samples must not make a
+        # watcher of tenant "mine" emit a frame.
+        with ServiceThread() as handle:
+
+            def feed():
+                with ServiceClient(handle.host, handle.port, "other") as c:
+                    for b in range(4):
+                        c.publish(0, {"node": _ramp_columns(8, t0=4.0 * b)})
+                    c.sync()
+                with ServiceClient(handle.host, handle.port, "mine") as c:
+                    c.publish(0, {"node": _ramp_columns(8)})
+                    c.sync()
+
+            thread = threading.Thread(target=feed, daemon=True)
+            frames = list(
+                watch_sse(
+                    handle.host, handle.http_port, "mine",
+                    every=8, max_frames=2, timeout_s=10.0,
+                    on_connect=thread.start,
+                )
+            )
+            thread.join()
+        # The post-attach frame fires only once "mine" itself ingested
+        # its 8 samples; under cross-tenant crediting it would fire on
+        # "other"'s traffic with samples == 0.
+        assert frames[1]["tenant"] == "mine"
+        assert frames[1]["samples"] == 8
+
 
 class TestWatchCli:
     def test_watch_url_streams_and_exits(self, capsys):

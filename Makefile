@@ -1,7 +1,7 @@
 PYTHON ?= python
 PYTEST := PYTHONPATH=src $(PYTHON) -m pytest
 
-.PHONY: test bench bench-smoke bench-campaign bench-faults bench-timeseries bench-governor serve-smoke audit
+.PHONY: test bench bench-smoke bench-campaign bench-federation bench-faults bench-timeseries bench-governor serve-smoke audit
 
 # Tier-1: the full unit/integration/property suite.
 test:
@@ -24,6 +24,11 @@ bench-smoke:
 # Campaign engine smoke: cache-hit speedup and serial==sharded equality.
 bench-campaign:
 	$(PYTEST) benchmarks/bench_campaign.py -q
+
+# Federated work queue: 4 workers sharing one cache drain byte-identical
+# to serial, and a SIGKILLed lease holder is stolen with zero lost runs.
+bench-federation:
+	$(PYTEST) benchmarks/bench_federation.py -q
 
 # The full fault-injection ablation (both systems, every fault x target).
 bench-faults:

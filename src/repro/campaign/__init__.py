@@ -10,8 +10,11 @@ shared execution substrate:
   cache hash (config content + code version);
 * :mod:`~repro.campaign.store` — atomic on-disk result cache, so
   re-running a campaign only executes misses and a killed sweep resumes;
-* :mod:`~repro.campaign.executor` — serial or ``multiprocessing``-sharded
-  execution with deterministic per-run seeding;
+* :mod:`~repro.campaign.executor` — serial, ``multiprocessing``-sharded,
+  or federated execution with deterministic per-run seeding;
+* :mod:`~repro.campaign.queue` — the coordinator-free lease queue:
+  any number of workers on any hosts drain one spec against one shared
+  store, with heartbeat leases, failure records, and cache GC;
 * :mod:`~repro.campaign.merge` — order-independent merges back into the
   exact structures the serial experiment functions return;
 * :mod:`~repro.campaign.report` — execution stats and per-shard
@@ -38,6 +41,18 @@ from repro.campaign.merge import (
     merge_figure5,
     merge_weak_scaling,
 )
+from repro.campaign.queue import (
+    FailureLog,
+    FederationConfig,
+    Journal,
+    LeaseQueue,
+    RunFailure,
+    WorkerProfile,
+    WorkerStats,
+    drain,
+    gc_sweep,
+    placement_order,
+)
 from repro.campaign.report import campaign_summary
 from repro.campaign.spec import CampaignSpec, expand
 from repro.campaign.store import (
@@ -53,18 +68,28 @@ __all__ = [
     "CampaignResult",
     "CampaignSpec",
     "CampaignStats",
+    "FailureLog",
+    "FederationConfig",
+    "Journal",
+    "LeaseQueue",
     "ProgressFn",
     "ResultStore",
+    "RunFailure",
     "RunKey",
+    "WorkerProfile",
+    "WorkerStats",
     "campaign_summary",
     "canonical_payload",
+    "drain",
     "execute",
     "execute_key",
     "expand",
+    "gc_sweep",
     "merge_figure1",
     "merge_figure4",
     "merge_figure5",
     "merge_weak_scaling",
+    "placement_order",
     "run_key_hash",
     "sort_key",
 ]

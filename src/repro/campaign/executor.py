@@ -3,28 +3,43 @@
 :func:`execute` is the one substrate every sweep in the repo runs on.
 It partitions the expanded keys into cache hits and misses, executes the
 misses — serially for ``workers=1`` (the degenerate case, retained as
-the reference path), or across ``multiprocessing`` shards otherwise —
-and archives each completed run before moving on, so a killed sweep
-resumes from the completed subset.
+the reference path), across ``multiprocessing`` shards for
+``workers=N``, or through the lease-based federated work queue
+(``federate=N``, any number of extra ``repro campaign work`` processes
+on any number of hosts welcome) — and archives each completed run
+before moving on, so a killed sweep resumes from the completed subset.
+
+Worker failures never abort a sweep: each failing key is recorded (a
+typed :class:`~repro.campaign.queue.RunFailure`, archived next to the
+results when a store is attached), every other key keeps draining, and
+one :class:`~repro.errors.CampaignExecutionError` summarizing the
+failed keys is raised at the end — with the completed results attached.
 
 Sharding cannot change results: every run is an independent simulation
 driven by its own :class:`~repro.hardware.clock.VirtualClock` and seeded
 entirely from its :class:`~repro.campaign.keys.RunKey` (never from
-worker identity or execution order), so the sharded sweep is
-bit-identical to the serial one by construction.  The property tests and
-the campaign smoke benchmark enforce this.
+worker identity or execution order), so sharded *and* federated sweeps
+are bit-identical to the serial one by construction.  The property tests
+and the campaign/federation benchmarks enforce this.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import os
+import time
 from dataclasses import dataclass
 from typing import Callable
 
-from repro.campaign.keys import RunKey, resolve_test_case
-from repro.campaign.store import AccountingSummary, CampaignResult, ResultStore
+from repro.campaign.keys import RunKey, resolve_test_case, run_key_hash
+from repro.campaign.store import (
+    CORRUPT,
+    AccountingSummary,
+    CampaignResult,
+    ResultStore,
+)
 from repro.config import get_system
-from repro.errors import ConfigurationError
+from repro.errors import CampaignExecutionError, ConfigurationError
 
 
 @dataclass
@@ -37,6 +52,14 @@ class CampaignStats:
     #: Simulation steps actually executed (0 on a fully-cached re-run).
     executed_steps: int = 0
     workers: int = 1
+    #: Corrupt/foreign cache entries found at hit-scan time: quarantined
+    #: and re-executed, never silently absorbed as plain misses.
+    corrupt: int = 0
+    #: Keys whose execution failed (their runs are *not* in the results;
+    #: the summarizing CampaignExecutionError carries the details).
+    failed: int = 0
+    #: Whether the misses drained through the federated lease queue.
+    federated: bool = False
     #: Post-hoc energy-audit coverage (``audit=`` on :func:`execute`):
     #: invariant evaluations run and findings raised across all results,
     #: cache hits included.
@@ -83,8 +106,161 @@ def execute_key(key: RunKey) -> CampaignResult:
     )
 
 
-def _worker(key: RunKey) -> tuple[RunKey, CampaignResult]:
-    return key, execute_key(key)
+def _worker(
+    key: RunKey,
+) -> tuple[RunKey, CampaignResult | None, tuple[str, str] | None]:
+    """One pool shard's unit of work: never lets an exception escape.
+
+    A raised exception inside ``imap_unordered`` would abort the whole
+    sweep and discard the in-flight shards' progress; instead the error
+    is shipped back as ``(type name, message)`` and handled per-key.
+    """
+    try:
+        return key, execute_key(key), None
+    except Exception as exc:
+        return key, None, (type(exc).__name__, str(exc))
+
+
+def _record_failures(
+    store: ResultStore | None,
+    failed: list[tuple[RunKey, str, str]],
+) -> tuple:
+    """Archive failures next to the results; returns RunFailure objects.
+
+    With a store attached the records go through the shared
+    :class:`~repro.campaign.queue.FailureLog`, so attempt counts
+    accumulate across re-runs of the same spec and federated workers see
+    the same record; without one they only live in the raised error.
+    """
+    if not failed:
+        return ()
+    from repro.campaign.queue import FailureLog, RunFailure, WorkerProfile
+
+    profile = WorkerProfile.local()
+    log = FailureLog(store.root) if store is not None else None
+    failures = []
+    for key, error_type, message in failed:
+        digest = run_key_hash(key)
+        if log is not None:
+            failure = log.record_raw(
+                key, digest, error_type, message, profile.worker_id
+            )
+        else:
+            failure = RunFailure(
+                digest=digest,
+                key=key,
+                error_type=error_type,
+                message=message,
+                attempts=1,
+                poisoned=False,
+                worker=profile.worker_id,
+            )
+        failures.append(failure)
+    return tuple(failures)
+
+
+def _raise_failures(
+    failures: tuple,
+    results: dict[RunKey, CampaignResult],
+    stats: CampaignStats,
+) -> None:
+    stats.failed = len(failures)
+    shown = ", ".join(
+        f"{f.label} ({f.error_type}: {f.message})" for f in failures[:3]
+    )
+    more = "" if len(failures) <= 3 else f", and {len(failures) - 3} more"
+    raise CampaignExecutionError(
+        f"{len(failures)} of {stats.total} campaign runs failed: "
+        f"{shown}{more}; {len(results)} completed runs stay archived",
+        failures=failures,
+        results=results,
+        stats=stats,
+    )
+
+
+def _federated_child(
+    keys: tuple[RunKey, ...],
+    root: str,
+    config,
+    systems: tuple[str, ...],
+    token: str,
+) -> None:
+    """One local federated worker process (module-level: picklable)."""
+    from repro.campaign.queue import WorkerProfile, drain
+
+    profile = WorkerProfile.local(systems=systems, token=token)
+    drain(keys, ResultStore(root), config=config, profile=profile)
+
+
+def _execute_federated(
+    misses: list[RunKey],
+    store: ResultStore,
+    federate: int,
+    federation,
+    profile_systems: tuple[str, ...],
+    collect: Callable[[RunKey, CampaignResult], None],
+) -> tuple:
+    """Drain the misses through ``federate`` local queue workers.
+
+    Returns the failures (empty on a clean drain).  The parent never
+    executes runs itself: it spawns the workers, watches the store for
+    completions (for live progress), and collects/validates at the end.
+    Extra ``repro campaign work`` processes — on this host or any other
+    sharing the cache root — join the same drain transparently.
+    """
+    from repro.campaign.queue import FailureLog, FederationConfig
+
+    config = federation if federation is not None else FederationConfig()
+    ctx = multiprocessing.get_context()
+    tokens = [f"fed{i}-{os.getpid()}" for i in range(federate)]
+    procs = [
+        ctx.Process(
+            target=_federated_child,
+            args=(tuple(misses), str(store.root), config, profile_systems, tok),
+            daemon=False,
+        )
+        for tok in tokens
+    ]
+    for proc in procs:
+        proc.start()
+
+    pending = {key: store.path_for(key) for key in misses}
+    try:
+        while any(proc.is_alive() for proc in procs):
+            for key in [k for k, p in pending.items() if p.is_file()]:
+                result = store.get(key)
+                if result is None:
+                    continue  # mid-steal rewrite; re-check next tick
+                del pending[key]
+                collect(key, result)
+            time.sleep(config.poll_s)
+    finally:
+        for proc in procs:
+            proc.join()
+
+    # Final collection pass: anything that completed after the last tick.
+    for key in list(pending):
+        result = store.get(key)
+        if result is not None:
+            del pending[key]
+            collect(key, result)
+
+    if not pending:
+        return ()
+    log = FailureLog(store.root, config=config)
+    failures = []
+    for key in pending:
+        failure = log.load(run_key_hash(key))
+        if failure is not None:
+            failures.append(failure)
+        else:  # worker died without recording (crashed drain itself)
+            codes = sorted({proc.exitcode for proc in procs})
+            raise CampaignExecutionError(
+                f"federated drain left {len(pending)} keys unresolved with "
+                f"no failure record (worker exit codes {codes}); "
+                f"first: {key.label}"
+            )
+    return tuple(failures)
 
 
 def execute(
@@ -93,6 +269,9 @@ def execute(
     workers: int = 1,
     progress: ProgressFn | None = None,
     audit: bool | str | None = None,
+    federate: int | None = None,
+    federation=None,
+    profile_systems: tuple[str, ...] = (),
 ) -> tuple[dict[RunKey, CampaignResult], CampaignStats]:
     """Execute a campaign's keys, reusing every cached result.
 
@@ -101,6 +280,21 @@ def execute(
     ``workers`` > 1 fans the cache misses out over that many OS
     processes; results are collected in completion order but keyed by
     :class:`RunKey`, so downstream merges are order-independent.
+
+    ``federate=N`` drains the misses through the lease-based federated
+    work queue instead: N worker processes (plus any number of external
+    ``repro campaign work`` participants sharing the cache root) claim
+    keys via atomic lease files, steal stale leases of dead workers, and
+    archive into the shared store.  Requires ``store``.  ``federation``
+    (a :class:`~repro.campaign.queue.FederationConfig`) tunes lease TTL
+    and retry policy; ``profile_systems`` sets the spawned workers'
+    placement preference.
+
+    Failed keys never abort the drain: the rest of the sweep completes
+    and one :class:`~repro.errors.CampaignExecutionError` is raised at
+    the end, carrying the completed results, the stats, and the typed
+    failures (archived in ``<root>/failures/`` when a store is
+    attached).
 
     ``audit`` runs the post-hoc energy-accounting audit over *every*
     result — cache hits included, since the checkers work from the
@@ -113,40 +307,79 @@ def execute(
     """
     if workers < 1:
         raise ConfigurationError("workers must be >= 1")
+    if federate is not None and federate < 1:
+        raise ConfigurationError("federate must be >= 1")
+    if federate is not None and store is None:
+        raise ConfigurationError(
+            "federated execution needs a shared result store"
+        )
     if len(set(keys)) != len(keys):
         raise ConfigurationError("duplicate run keys in campaign")
 
-    stats = CampaignStats(total=len(keys), workers=workers)
+    stats = CampaignStats(
+        total=len(keys),
+        workers=federate if federate is not None else workers,
+        federated=federate is not None,
+    )
     results: dict[RunKey, CampaignResult] = {}
 
     misses = []
     for key in keys:
-        cached = store.get(key) if store is not None else None
+        cached, status = (
+            store.lookup(key) if store is not None else (None, "miss")
+        )
         if cached is not None:
             results[key] = cached
             stats.hits += 1
             if progress is not None:
                 progress(stats, key)
         else:
+            if status == CORRUPT:
+                # Quarantine the rot (bytes stay inspectable), count it,
+                # and re-execute the key over a clean address.
+                stats.corrupt += 1
+                store.quarantine_entry(key)
             misses.append(key)
 
     def _collect(key: RunKey, result: CampaignResult) -> None:
         results[key] = result
         stats.misses += 1
         stats.executed_steps += result.run.num_steps
-        if store is not None:
+        if store is not None and not stats.federated:
             store.put(key, result)
         if progress is not None:
             progress(stats, key)
 
-    if workers == 1 or len(misses) <= 1:
+    failures: tuple = ()
+    if federate is not None and misses:
+        failures = _execute_federated(
+            misses, store, federate, federation, profile_systems, _collect
+        )
+    elif federate is not None:
+        pass  # fully cached: nothing to drain, no workers to spawn
+    elif workers == 1 or len(misses) <= 1:
+        failed: list[tuple[RunKey, str, str]] = []
         for key in misses:
-            _collect(key, execute_key(key))
+            try:
+                result = execute_key(key)
+            except Exception as exc:
+                failed.append((key, type(exc).__name__, str(exc)))
+                continue
+            _collect(key, result)
+        failures = _record_failures(store, failed)
     else:
+        failed = []
         ctx = multiprocessing.get_context()
         with ctx.Pool(processes=min(workers, len(misses))) as pool:
-            for key, result in pool.imap_unordered(_worker, misses):
+            for key, result, error in pool.imap_unordered(_worker, misses):
+                if error is not None:
+                    failed.append((key, error[0], error[1]))
+                    continue
                 _collect(key, result)
+        failures = _record_failures(store, failed)
+
+    if failures:
+        _raise_failures(failures, results, stats)
 
     from repro.audit.hooks import AuditSettings, audit_campaign_result
 

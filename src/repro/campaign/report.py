@@ -21,15 +21,18 @@ def campaign_summary(
     results: dict[RunKey, CampaignResult],
 ) -> str:
     """Render one campaign execution's summary block."""
+    mode = "federated worker" if stats.federated else "worker"
     lines = [
         f"Campaign {name!r}: {stats.total} points "
         f"({stats.hits} cached, {stats.misses} executed, "
-        f"{stats.workers} worker{'s' if stats.workers != 1 else ''})",
+        f"{stats.workers} {mode}{'s' if stats.workers != 1 else ''})",
         f"Simulation steps executed: {stats.executed_steps}",
     ]
+    if stats.failed:
+        lines.append(f"Failed runs: {stats.failed} (see failure records)")
     runs = {
         key.label: result.run
         for key, result in sorted(results.items(), key=lambda i: sort_key(i[0]))
     }
-    lines.append(campaign_health_summary(runs))
+    lines.append(campaign_health_summary(runs, corrupt=stats.corrupt))
     return "\n".join(lines)

@@ -8,14 +8,24 @@ cosmetic execution settings cannot perturb the address at all.
 
 Writes are atomic (temp file + ``os.replace`` in the same directory), so
 a campaign killed mid-sweep leaves either complete entries or nothing:
-re-running the same spec resumes from the completed subset.  Corrupt or
-foreign files are treated as misses, never as errors.
+re-running the same spec resumes from the completed subset.  The temp
+name embeds hostname, pid, and a random token, so any number of workers
+on any number of hosts can share one root (NFS included) without ever
+clobbering each other's in-flight writes.
+
+Corrupt or foreign files still read as misses, never as errors — but no
+longer *silently*: :meth:`ResultStore.lookup` distinguishes a corrupt
+entry from a plain miss, :meth:`ResultStore.stats` counts corrupt
+entries and orphaned temp files, and :meth:`ResultStore.quarantine_corrupt`
+moves rot aside so a decaying shared cache is visible instead of just
+slow.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import socket
 from dataclasses import asdict, dataclass
 from pathlib import Path
 
@@ -110,11 +120,30 @@ def _deserialize(text: str) -> CampaignResult:
     )
 
 
+#: ``lookup`` status values: a complete entry, no entry at all, or a
+#: file at the right address that does not deserialize to the key.
+HIT, MISS, CORRUPT = "hit", "miss", "corrupt"
+
+
 class ResultStore:
-    """Content-addressed result cache rooted at one directory."""
+    """Content-addressed result cache rooted at one directory.
+
+    Safe to share between any number of processes on any number of
+    hosts: reads see either a complete entry or nothing (writes land via
+    same-directory ``os.replace``), and temp names embed
+    ``hostname-pid-token`` so concurrent writers can never collide.
+    ``corrupt_seen`` counts the corrupt/foreign entries this instance
+    ran into, so executors can report a rotting cache instead of
+    silently re-executing through it.
+    """
+
+    #: Subdirectory corrupt entries are quarantined into.
+    QUARANTINE_DIR = "quarantine"
 
     def __init__(self, root: str | Path) -> None:
         self.root = Path(root)
+        #: Corrupt/foreign entries seen by this instance's lookups.
+        self.corrupt_seen = 0
 
     def path_for(self, key: RunKey) -> Path:
         digest = run_key_hash(key)
@@ -123,30 +152,57 @@ class ResultStore:
     def contains(self, key: RunKey) -> bool:
         return self.path_for(key).is_file()
 
-    def get(self, key: RunKey) -> CampaignResult | None:
-        """The cached result of ``key``, or ``None`` on any kind of miss."""
+    def lookup(self, key: RunKey) -> tuple[CampaignResult | None, str]:
+        """The cached result plus how the address resolved.
+
+        Returns ``(result, "hit")``, ``(None, "miss")`` for an absent
+        entry, or ``(None, "corrupt")`` when a file exists at the key's
+        address but does not deserialize back to the key (rotten bytes,
+        a foreign schema, or a tampered/colliding entry).  Corrupt reads
+        bump :attr:`corrupt_seen`.
+        """
         path = self.path_for(key)
         try:
             text = path.read_text()
+        except FileNotFoundError:
+            return None, MISS
         except OSError:
-            return None
+            return None, MISS  # transiently unreadable: retry as a miss
         try:
             result = _deserialize(text)
         except (ValueError, KeyError, TypeError):
-            return None  # corrupt/foreign entry: treat as a miss
+            self.corrupt_seen += 1
+            return None, CORRUPT
         if result.key != key:
-            return None  # hash collision or tampered entry
-        return result
+            self.corrupt_seen += 1  # hash collision or tampered entry
+            return None, CORRUPT
+        return result, HIT
+
+    def get(self, key: RunKey) -> CampaignResult | None:
+        """The cached result of ``key``, or ``None`` on any kind of miss."""
+        return self.lookup(key)[0]
 
     def put(self, key: RunKey, result: CampaignResult) -> Path:
         """Atomically archive one completed run."""
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         digest = path.stem
-        tmp = path.with_name(f".{path.name}.tmp{os.getpid()}")
+        tmp = self._tmp_path(path)
         tmp.write_text(_serialize(key, result, digest))
         os.replace(tmp, path)
         return path
+
+    @staticmethod
+    def _tmp_path(path: Path) -> Path:
+        """A collision-proof temp name next to ``path``.
+
+        ``pid`` alone is not unique across hosts sharing the root over
+        NFS; the hostname plus a random token makes simultaneous writers
+        of the same entry land on distinct temp files.
+        """
+        token = os.urandom(4).hex()
+        host = socket.gethostname()
+        return path.with_name(f".{path.name}.tmp-{host}-{os.getpid()}-{token}")
 
     # -- maintenance --------------------------------------------------------
 
@@ -156,18 +212,88 @@ class ResultStore:
             return []
         return sorted(self.root.glob("??/*.json"))
 
+    def tmp_orphans(self) -> list[Path]:
+        """Leftover temp files from killed runs (never reaped by writes)."""
+        if not self.root.is_dir():
+            return []
+        return sorted(self.root.glob("??/.*.tmp-*"))
+
     def stats(self) -> dict[str, int]:
+        """Entry/byte counts plus the cache-health counters.
+
+        ``corrupt`` re-parses every entry, so the count reflects the
+        store as it is on disk right now (not just what this process
+        happened to read); ``tmp_orphans`` counts temp files abandoned
+        by killed writers.
+        """
         entries = self.entries()
+        corrupt = 0
+        for path in entries:
+            try:
+                _deserialize(path.read_text())
+            except (OSError, ValueError, KeyError, TypeError):
+                corrupt += 1
         return {
             "entries": len(entries),
             "bytes": sum(p.stat().st_size for p in entries),
+            "corrupt": corrupt,
+            "tmp_orphans": len(self.tmp_orphans()),
         }
+
+    def reap_tmp(self) -> int:
+        """Remove orphaned temp files; returns how many were reaped."""
+        reaped = 0
+        for tmp in self.tmp_orphans():
+            try:
+                tmp.unlink()
+                reaped += 1
+            except OSError:
+                continue
+        return reaped
+
+    def quarantine_entry(self, key: RunKey) -> bool:
+        """Move one key's (corrupt) entry into the quarantine directory.
+
+        Used by the executor when a lookup reports rot: the bytes stay
+        inspectable, the address reads as a plain miss, and the key is
+        re-executed.  Returns whether anything was moved.
+        """
+        path = self.path_for(key)
+        target = self.root / self.QUARANTINE_DIR / path.name
+        target.parent.mkdir(parents=True, exist_ok=True)
+        try:
+            os.replace(path, target)
+            return True
+        except OSError:
+            return False
+
+    def quarantine_corrupt(self) -> int:
+        """Move corrupt entries into ``<root>/quarantine/``.
+
+        The entries then read as plain misses (re-executed and
+        re-archived by the next sweep) while the rotten bytes stay
+        available for inspection.  Returns the number quarantined.
+        """
+        moved = 0
+        for path in self.entries():
+            try:
+                _deserialize(path.read_text())
+            except (OSError, ValueError, KeyError, TypeError):
+                target = self.root / self.QUARANTINE_DIR / path.name
+                target.parent.mkdir(parents=True, exist_ok=True)
+                try:
+                    os.replace(path, target)
+                    moved += 1
+                except OSError:
+                    continue
+        return moved
 
     def clean(self, keys: tuple[RunKey, ...] | None = None) -> int:
         """Remove entries (all of them, or just those of ``keys``).
 
         Returns the number of entries removed; empty shard directories
-        are pruned.
+        are pruned, and orphaned temp files of killed runs are reaped
+        alongside (they are not counted in the return value).
         """
         removed = 0
         targets = (
@@ -181,7 +307,12 @@ class ResultStore:
                 removed += 1
             except OSError:
                 continue
+        self.reap_tmp()
+        for path in targets:
             parent = path.parent
-            if parent != self.root and not any(parent.iterdir()):
-                parent.rmdir()
+            try:
+                if parent != self.root and not any(parent.iterdir()):
+                    parent.rmdir()
+            except OSError:
+                continue
         return removed

@@ -18,9 +18,10 @@ Every paper artifact is reachable from the shell:
   (framed-protocol stream port + HTTP query/metrics/watch port);
 * ``publish`` — run a case and stream its telemetry to a ``serve``
   instance with zero measurement perturbation;
-* ``campaign`` — sharded sweep execution (``run``/``status``/``clean``)
-  with a content-addressed result cache, so repeated sweeps only pay for
-  cache misses;
+* ``campaign`` — sharded or federated sweep execution
+  (``run``/``work``/``status``/``gc``/``clean``) with a
+  content-addressed result cache shared by any number of workers on any
+  hosts, so repeated sweeps only pay for cache misses;
 * ``tune`` — the dynamic per-function DVFS extension;
 * ``backends`` — the registered PMT backends.
 
@@ -521,12 +522,26 @@ def _campaign_spec(args: argparse.Namespace):
     )
 
 
+def _cache_dir(args: argparse.Namespace) -> str:
+    """``--cache-dir``, falling back to ``$REPRO_CACHE_DIR`` then default.
+
+    Resolved at command time (not parser-build time) so federated
+    workers started from different shells agree on the shared root
+    through the environment alone.
+    """
+    if args.cache_dir is not None:
+        return args.cache_dir
+    from repro.config import CampaignSettings
+
+    return CampaignSettings.from_env().cache_dir
+
+
 def _campaign_store(args: argparse.Namespace):
     from repro.campaign import ResultStore
 
     if getattr(args, "no_cache", False):
         return None
-    return ResultStore(args.cache_dir)
+    return ResultStore(_cache_dir(args))
 
 
 def _progress_printer(total: int):
@@ -589,13 +604,26 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
         os.environ[AUDIT_ENV] = (
             "strict" if audit_mode == "strict" else "record"
         )
-    results, stats = execute(
-        keys,
-        store=_campaign_store(args),
-        workers=args.workers,
-        progress=progress,
-        audit=audit_mode,
-    )
+    from repro.config import CampaignSettings
+    from repro.errors import CampaignExecutionError
+
+    settings = CampaignSettings.from_env()
+    try:
+        results, stats = execute(
+            keys,
+            store=_campaign_store(args),
+            workers=args.workers if args.workers is not None else settings.workers,
+            progress=progress,
+            audit=audit_mode,
+            federate=args.federate,
+            federation=settings.federation(),
+            profile_systems=settings.worker_systems,
+        )
+    except CampaignExecutionError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        for failure in exc.failures:
+            print(f"  failed: {failure.label}", file=sys.stderr)
+        return 1
     if args.sweep == "fig4":
         print(_render_fig4(merge_figure4(results, BASELINE_MHZ), spec.freqs_mhz))
     elif args.sweep == "fig5":
@@ -617,18 +645,80 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
 
 def _cmd_campaign_status(args: argparse.Namespace) -> int:
     from repro.campaign import ResultStore, expand
+    from repro.campaign.queue import FailureLog, LeaseQueue
 
     spec = _campaign_spec(args)
     keys = expand(spec)
-    store = ResultStore(args.cache_dir)
+    cache_dir = _cache_dir(args)
+    store = ResultStore(cache_dir)
     cached = sum(1 for key in keys if store.contains(key))
     print(
         f"Campaign {spec.name!r}: {len(keys)} points, {cached} cached, "
-        f"{len(keys) - cached} to run (cache: {args.cache_dir})"
+        f"{len(keys) - cached} to run (cache: {cache_dir})"
     )
     stats = store.stats()
     print(
-        f"Store: {stats['entries']} entries, {stats['bytes'] / 1024:.0f} KiB"
+        f"Store: {stats['entries']} entries, {stats['bytes'] / 1024:.0f} KiB, "
+        f"{stats['corrupt']} corrupt, {stats['tmp_orphans']} orphaned temp "
+        f"file{'s' if stats['tmp_orphans'] != 1 else ''}"
+    )
+    live, stale = LeaseQueue(store.root).active()
+    failures = FailureLog(store.root).all_failures()
+    poisoned = sum(1 for f in failures if f.poisoned)
+    print(
+        f"Federation: {live} live lease{'s' if live != 1 else ''}, "
+        f"{stale} stale, {len(failures)} failure "
+        f"record{'s' if len(failures) != 1 else ''} "
+        f"({poisoned} poisoned)"
+    )
+    return 0
+
+
+def _cmd_campaign_work(args: argparse.Namespace) -> int:
+    """One federated worker: drain a sweep against the shared cache.
+
+    Start any number of these (any hosts sharing the cache root): they
+    coordinate through lease files alone and together drain the spec.
+    """
+    from repro.campaign import ResultStore, expand
+    from repro.campaign.queue import WorkerProfile, drain
+    from repro.config import CampaignSettings
+
+    settings = CampaignSettings.from_env()
+    systems = (
+        tuple(args.profile_systems)
+        if args.profile_systems
+        else settings.worker_systems
+    )
+    profile = WorkerProfile.local(systems=systems)
+    keys = expand(_campaign_spec(args))
+    store = ResultStore(_cache_dir(args))
+    stats = drain(
+        keys, store, config=settings.federation(), profile=profile
+    )
+    print(
+        f"Worker {stats.worker}: {stats.executed} executed "
+        f"({stats.executed_steps} steps), {stats.hits_observed} taken by "
+        f"peers/cache, {stats.steals} leases stolen, "
+        f"{stats.failures} failures, {stats.poisoned_seen} poisoned, "
+        f"{stats.corrupt_seen} corrupt entries seen"
+    )
+    return 1 if stats.poisoned_seen else 0
+
+
+def _cmd_campaign_gc(args: argparse.Namespace) -> int:
+    """Reap federation debris: orphan temps, stale leases, corrupt rot."""
+    from repro.campaign import ResultStore
+    from repro.campaign.queue import gc_sweep
+    from repro.config import CampaignSettings
+
+    cache_dir = _cache_dir(args)
+    store = ResultStore(cache_dir)
+    counts = gc_sweep(store, config=CampaignSettings.from_env().federation())
+    print(
+        f"gc {cache_dir}: {counts['tmp_reaped']} temp files reaped, "
+        f"{counts['leases_swept']} stale leases swept, "
+        f"{counts['corrupt_quarantined']} corrupt entries quarantined"
     )
     return 0
 
@@ -636,15 +726,16 @@ def _cmd_campaign_status(args: argparse.Namespace) -> int:
 def _cmd_campaign_clean(args: argparse.Namespace) -> int:
     from repro.campaign import ResultStore, expand
 
-    store = ResultStore(args.cache_dir)
+    cache_dir = _cache_dir(args)
+    store = ResultStore(cache_dir)
     if args.sweep is None:
         removed = store.clean()
-        print(f"removed {removed} cache entries from {args.cache_dir}")
+        print(f"removed {removed} cache entries from {cache_dir}")
     else:
         removed = store.clean(expand(_campaign_spec(args)))
         print(
             f"removed {removed} {args.sweep!r} cache entries "
-            f"from {args.cache_dir}"
+            f"from {cache_dir}"
         )
     return 0
 
@@ -913,8 +1004,9 @@ def build_parser() -> argparse.ArgumentParser:
             )
         cp.add_argument(
             "--cache-dir",
-            default=DEFAULT_CAMPAIGN.cache_dir,
-            help=f"result cache root (default: {DEFAULT_CAMPAIGN.cache_dir})",
+            default=None,
+            help="result cache root (default: $REPRO_CACHE_DIR or "
+            f"{DEFAULT_CAMPAIGN.cache_dir})",
         )
         cp.add_argument("--seed", type=int, default=0)
         cp.add_argument(
@@ -946,8 +1038,17 @@ def build_parser() -> argparse.ArgumentParser:
     cp.add_argument(
         "--workers",
         type=int,
-        default=DEFAULT_CAMPAIGN.workers,
-        help="worker shards for cache misses (default: serial)",
+        default=None,
+        help="worker shards for cache misses "
+        "(default: $REPRO_CAMPAIGN_WORKERS or serial)",
+    )
+    cp.add_argument(
+        "--federate",
+        type=int,
+        default=None,
+        metavar="N",
+        help="drain misses with N federated lease-queue workers instead "
+        "of sharding (byte-identical results either way)",
     )
     cp.add_argument(
         "--no-cache",
@@ -961,10 +1062,32 @@ def build_parser() -> argparse.ArgumentParser:
     cp.set_defaults(func=_cmd_campaign_run)
 
     cp = action.add_parser(
+        "work",
+        help="run one federated worker draining a sweep (start any number)",
+    )
+    _add_campaign_options(cp)
+    cp.add_argument(
+        "--profile-systems",
+        nargs="*",
+        default=None,
+        choices=sorted(SYSTEMS),
+        help="systems this worker prefers to execute "
+        "(default: $REPRO_WORKER_SYSTEMS)",
+    )
+    cp.set_defaults(func=_cmd_campaign_work)
+
+    cp = action.add_parser(
         "status", help="cached/missing point counts of a sweep"
     )
     _add_campaign_options(cp)
     cp.set_defaults(func=_cmd_campaign_status)
+
+    cp = action.add_parser(
+        "gc",
+        help="reap orphan temp files, stale leases, and corrupt entries",
+    )
+    _add_campaign_options(cp, with_sweep=False)
+    cp.set_defaults(func=_cmd_campaign_gc)
 
     cp = action.add_parser("clean", help="drop cache entries")
     cp.add_argument(

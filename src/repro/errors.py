@@ -55,6 +55,30 @@ class AnalysisError(ReproError):
     """Raised by the analysis layer for inconsistent measurement records."""
 
 
+class CampaignExecutionError(ReproError):
+    """Raised when campaign points failed after the sweep finished draining.
+
+    The executor never aborts a sweep on the first broken point: every
+    other key keeps executing (and archiving), failures are recorded as
+    typed :class:`~repro.campaign.queue.RunFailure` entries next to the
+    results, and this summary error is raised once at the end.  It
+    carries the completed ``results`` and ``stats`` so callers can still
+    merge the surviving points, plus the ``failures`` tuple itself.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        failures: tuple = (),
+        results: dict | None = None,
+        stats: object | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.failures = failures
+        self.results = results if results is not None else {}
+        self.stats = stats
+
+
 class AuditError(ReproError):
     """Raised by the energy-accounting auditor in strict mode.
 

@@ -43,17 +43,28 @@ def telemetry_qc_line(run: RunMeasurements) -> str:
     return "Telemetry QC: DEGRADED (" + "; ".join(degraded) + ")"
 
 
-def campaign_health_summary(runs: dict[str, RunMeasurements]) -> str:
+def campaign_health_summary(
+    runs: dict[str, RunMeasurements], corrupt: int = 0
+) -> str:
     """Aggregate telemetry health across a campaign's runs (shards).
 
     ``runs`` maps a per-run label (the run key's compact form) to its
     measurements.  The verdict is one line when every shard measured
     cleanly; degraded shards are each listed with the nodes and meters
     that served substituted values, so a sweep summary never hides a
-    sensor failure inside an aggregate.
+    sensor failure inside an aggregate.  ``corrupt`` counts cache
+    entries that failed to deserialize during the sweep (quarantined and
+    re-executed) — nonzero means the shared result store is rotting and
+    gets its own line so it is never silently absorbed as extra misses.
     """
+    suffix = (
+        f"\nCache health: {corrupt} corrupt entr"
+        f"{'y' if corrupt == 1 else 'ies'} quarantined and re-executed"
+        if corrupt
+        else ""
+    )
     if not runs:
-        return "Telemetry QC: no runs"
+        return "Telemetry QC: no runs" + suffix
     unknown = sum(1 for run in runs.values() if not run.telemetry_health)
     degraded = {
         label: run
@@ -73,7 +84,7 @@ def campaign_health_summary(runs: dict[str, RunMeasurements]) -> str:
             verdict += f" ({mitigations} transient mitigations)"
         if unknown:
             verdict += f"; {unknown} runs without health records"
-        return verdict
+        return verdict + suffix
     lines = [
         f"Telemetry QC: {len(degraded)} of {len(runs)} runs DEGRADED "
         f"({mitigations} mitigations total)"
@@ -85,7 +96,7 @@ def campaign_health_summary(runs: dict[str, RunMeasurements]) -> str:
             if h.status != "ok"
         )
         lines.append(f"  {label}: {nodes}")
-    return "\n".join(lines)
+    return "\n".join(lines) + suffix
 
 
 def campaign_audit_summary(stats) -> str:

@@ -242,7 +242,12 @@ class TestResultStore:
         assert store.clean(tuple(keys[:1])) == 1
         assert store.stats()["entries"] == 2
         assert store.clean() == 2
-        assert store.stats() == {"entries": 0, "bytes": 0}
+        assert store.stats() == {
+            "entries": 0,
+            "bytes": 0,
+            "corrupt": 0,
+            "tmp_orphans": 0,
+        }
 
 
 class TestExecutor:
